@@ -1,0 +1,64 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(§VII-VIII): it runs the relevant configurations on the simulated
+machine, prints the same rows/series the paper plots, saves them under
+``benchmarks/results/``, and asserts the paper's *shape* claims (who
+wins, where scaling bends, how overheads trend).  Absolute numbers are
+simulated seconds from the calibrated machine model, not wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_and_print(name: str, title: str, rows: list[dict]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{name}.json"
+    with open(out, "w") as f:
+        json.dump({"title": title, "rows": rows}, f, indent=2)
+    text = render_table(title, rows)
+    with open(RESULTS_DIR / f"{name}.txt", "w") as f:
+        f.write(text)
+    print("\n" + text)
+
+
+def render_table(title: str, rows: list[dict]) -> str:
+    if not rows:
+        return f"== {title} ==\n(no rows)\n"
+    cols = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows))
+              for c in cols}
+    lines = [f"== {title} ==",
+             "  ".join(c.ljust(widths[c]) for c in cols),
+             "  ".join("-" * widths[c] for c in cols)]
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c])
+                               for c in cols))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+    return run

@@ -1,0 +1,58 @@
+"""Figure 10: LULESH OpenMP weak scaling.
+
+The per-thread problem size stays fixed while threads increase; the
+paper plots execution time and efficiency for OpenMP and OpenMPOpt and
+finds the gradient's weak scaling matches the primal's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ad import ADConfig
+from repro.apps.lulesh import LuleshApp
+
+from conftest import save_and_print
+
+STEPS = 3
+#: (threads, nx): total elements ~ 250 * threads (cube-rounded).
+CASES = [(1, 6), (8, 12), (27, 18), (64, 24)]
+
+
+def test_fig10_weak_scaling(bench_once):
+    def experiment():
+        rows = []
+        for label, cfg in (("C++ OpenMP", ADConfig()),
+                           ("C++ OpenMPOpt", ADConfig(openmp_opt=True))):
+            base_f = base_g = None
+            for nt, nx in CASES:
+                app = LuleshApp("openmp", nx=nx, ad_config=cfg)
+                f = app.run_forward(app.make_domains(), STEPS, nt).time
+                g = app.run_gradient(app.make_domains(), STEPS, nt).time
+                if base_f is None:
+                    base_f, base_g = f, g
+                rows.append({
+                    "impl": label, "threads": nt, "nx": nx,
+                    "forward_s": f, "gradient_s": g,
+                    "fwd_efficiency": base_f / f,
+                    "grad_efficiency": base_g / g,
+                    "overhead": g / f,
+                })
+        return rows
+
+    rows = bench_once(experiment)
+    save_and_print("fig10_openmp_weak",
+                   "Fig 10: LULESH OpenMP weak scaling", rows)
+
+    by = {(r["impl"], r["threads"]): r for r in rows}
+    for impl in ("C++ OpenMP", "C++ OpenMPOpt"):
+        # gradient weak efficiency tracks the primal's (§VIII: "scaling
+        # of the gradient matches that of the primal")
+        f_eff = by[(impl, 27)]["fwd_efficiency"]
+        g_eff = by[(impl, 27)]["grad_efficiency"]
+        assert g_eff > 0.5 * f_eff, impl
+        # weak-scaling time grows sub-linearly in threads (it is weak
+        # scaling, not serialization): 64 threads on 64x work costs far
+        # less than 64x the single-thread time.
+        assert by[(impl, 64)]["forward_s"] < \
+            8.0 * by[(impl, 1)]["forward_s"], impl

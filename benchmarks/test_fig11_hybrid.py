@@ -1,0 +1,51 @@
+"""Figure 11: hybrid MPI-rank x OpenMP-thread scaling of LULESH.
+
+The paper's final scaling figure combines both parallelism levels in
+one binary; the claim under test is that the Enzyme gradient keeps
+scaling when ranks and threads are combined.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lulesh import LuleshApp
+
+from conftest import save_and_print
+
+STEPS = 3
+#: (pr, per-rank nx, threads) — 8 ranks x {1,2,4,8} threads plus the
+#: single-rank references (node has 64 cores).
+CASES = [
+    (1, 8, 1), (1, 8, 4), (1, 8, 8),
+    (2, 4, 1), (2, 4, 2), (2, 4, 4), (2, 4, 8),
+]
+
+
+def test_fig11_hybrid_scaling(bench_once):
+    def experiment():
+        rows = []
+        for pr, nx, nt in CASES:
+            app = LuleshApp("hybrid", nx=nx, pr=pr)
+            f = app.run_forward(app.make_domains(), STEPS, nt).time
+            g = app.run_gradient(app.make_domains(), STEPS, nt).time
+            rows.append({"ranks": pr ** 3, "threads": nt,
+                         "cores": pr ** 3 * nt, "forward_s": f,
+                         "gradient_s": g, "overhead": g / f})
+        return rows
+
+    rows = bench_once(experiment)
+    save_and_print("fig11_hybrid",
+                   "Fig 11: LULESH hybrid MPI+OpenMP scaling "
+                   "(fixed total size)", rows)
+
+    by = {(r["ranks"], r["threads"]): r for r in rows}
+    # adding threads on top of ranks keeps helping (both modes)
+    assert by[(8, 4)]["forward_s"] < by[(8, 1)]["forward_s"]
+    assert by[(8, 4)]["gradient_s"] < by[(8, 1)]["gradient_s"]
+    # distributing the same problem over 8 ranks beats 1 rank
+    assert by[(8, 1)]["forward_s"] < by[(1, 1)]["forward_s"]
+    # the gradient's hybrid speedup tracks the primal's
+    f_sp = by[(1, 1)]["forward_s"] / by[(8, 8)]["forward_s"]
+    g_sp = by[(1, 1)]["gradient_s"] / by[(8, 8)]["gradient_s"]
+    assert g_sp > 0.4 * f_sp

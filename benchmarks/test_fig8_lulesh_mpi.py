@@ -1,0 +1,129 @@
+"""Figure 8: LULESH MPI runtime, strong scaling, and weak scaling.
+
+Implementations (top row of the paper's figure): Enzyme C++ MPI,
+Enzyme Julia MPI (MPI.jl), Enzyme RAJA MPI, CoDiPack C++ MPI.  Rank
+counts follow the paper's perfect-cube requirement: 1, 8, 27, 64.
+Problem sizes are scaled down from the paper's 192/96/64/48 blocks to
+interpreter scale, preserving the fixed-total (strong) / fixed-per-rank
+(weak) structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.lulesh import LuleshApp
+
+from conftest import save_and_print
+
+STEPS = 4
+#: (ranks, per-rank nx) for strong scaling: total 12^3 elements, the
+#: paper's 1:192 8:96 27:64 64:48 pattern scaled by 16.
+STRONG = [(1, 12), (8, 6), (27, 4), (64, 3)]
+#: weak scaling: fixed per-rank block (paper bottom row, block 48).
+WEAK_NX = 3
+WEAK = [(1, WEAK_NX), (8, WEAK_NX), (27, WEAK_NX), (64, WEAK_NX)]
+
+IMPLS = [
+    ("Enzyme C++ MPI", "mpi"),
+    ("Enzyme Julia MPI", "julia_mpi"),
+    ("Enzyme RAJA MPI", "raja_mpi"),
+    ("CoDiPack C++ MPI", "codipack"),
+]
+
+
+def _run_impl(impl: str, nx: int, pr: int) -> tuple[float, float]:
+    """Returns (forward seconds, gradient seconds) in simulated time."""
+    flavor = "mpi" if impl == "codipack" else impl
+    app = LuleshApp(flavor, nx=nx, pr=pr)
+    if impl == "codipack":
+        # CoDiPack's "forward" records the tape (the application is
+        # rewritten to AD types); its gradient adds the tape reversal.
+        doms = app.make_domains()
+        fwd, _ = app.run_codipack_forward(doms, STEPS)
+        doms = app.make_domains()
+        grad, _ = app.run_codipack_gradient(doms, STEPS)
+        return fwd.time, grad.time
+    doms = app.make_domains()
+    fwd = app.run_forward(doms, STEPS)
+    doms = app.make_domains()
+    grad = app.run_gradient(doms, STEPS)
+    return fwd.time, grad.time
+
+
+def _sweep(cases) -> list[dict]:
+    rows = []
+    for ranks, nx in cases:
+        pr = round(ranks ** (1 / 3))
+        assert pr ** 3 == ranks
+        for label, impl in IMPLS:
+            f, g = _run_impl(impl, nx, pr)
+            rows.append({"impl": label, "ranks": ranks, "nx": nx,
+                         "forward_s": f, "gradient_s": g,
+                         "overhead": g / f})
+    return rows
+
+
+def _series(rows, label, key):
+    return {r["ranks"]: r[key] for r in rows if r["impl"] == label}
+
+
+def test_fig8_runtime_and_strong_scaling(bench_once):
+    rows = bench_once(lambda: _sweep(STRONG))
+    save_and_print("fig8_top_runtime", "Fig 8 (top): LULESH MPI runtime, "
+                   f"{STEPS} steps, fixed total size", rows)
+
+    speed = []
+    for label, _ in IMPLS:
+        f = _series(rows, label, "forward_s")
+        g = _series(rows, label, "gradient_s")
+        for ranks in sorted(f):
+            speed.append({"impl": label, "ranks": ranks,
+                          "fwd_speedup": f[1] / f[ranks],
+                          "grad_speedup": g[1] / g[ranks]})
+    save_and_print("fig8_mid_strong", "Fig 8 (middle): strong scaling "
+                   "speedup T1/Tn", speed)
+
+    # --- the paper's shape claims -------------------------------------
+    enz_f = _series(rows, "Enzyme C++ MPI", "forward_s")
+    enz_g = _series(rows, "Enzyme C++ MPI", "gradient_s")
+    codi_g = _series(rows, "CoDiPack C++ MPI", "gradient_s")
+
+    # 1. CoDiPack's 1-rank gradient is by far the slowest (§VIII: large
+    #    serial overhead).
+    assert codi_g[1] > 3.0 * enz_g[1]
+
+    # 2. The Enzyme gradient scales like the primal: similar speedups.
+    fwd_sp = enz_f[1] / enz_f[27]
+    grad_sp = enz_g[1] / enz_g[27]
+    assert grad_sp > 0.5 * fwd_sp
+
+    # 3. Speedup degrades beyond 27 ranks (NUMA, §VIII): parallel
+    #    efficiency at 64 clearly below efficiency at 27.
+    eff27 = (enz_f[1] / enz_f[27]) / 27
+    eff64 = (enz_f[1] / enz_f[64]) / 64
+    assert eff64 < eff27
+
+    # 4. CoDiPack's apparently better scaling is an artifact of its
+    #    serial overhead (§VIII): its gradient *speedup* may exceed
+    #    Enzyme's, yet its absolute gradient time stays worse everywhere.
+    for ranks in (1, 8, 27, 64):
+        assert codi_g[ranks] > enz_g[ranks]
+
+
+def test_fig8_weak_scaling(bench_once):
+    rows = bench_once(lambda: _sweep(WEAK))
+    save_and_print("fig8_bot_weak", "Fig 8 (bottom): LULESH MPI weak "
+                   f"scaling, block {WEAK_NX}/rank", rows)
+    enz_f = _series(rows, "Enzyme C++ MPI", "forward_s")
+    enz_g = _series(rows, "Enzyme C++ MPI", "gradient_s")
+    # Weak scaling: gradient efficiency tracks the primal's.
+    f_eff = enz_f[1] / enz_f[64]
+    g_eff = enz_g[1] / enz_g[64]
+    assert g_eff > 0.5 * f_eff
+    # The Julia variant is slower in absolute terms (MPICH constants +
+    # indirection), as the paper attributes (§VIII).
+    jl_f = _series(rows, "Enzyme Julia MPI", "forward_s")
+    assert jl_f[64] > enz_f[64]

@@ -1,0 +1,121 @@
+"""Figure 9: thread-parallel strong scaling (LULESH top, miniBUDE bottom).
+
+LULESH: C++ OpenMP, C++ OpenMP+OpenMPOpt, RAJA (the paper notes
+CoDiPack cannot differentiate OpenMP LULESH and LULESH.jl is not
+threaded).  miniBUDE: C++ OpenMP, C++ OpenMP+OpenMPOpt, Julia tasks.
+Problem sizes are fixed while the thread count sweeps one node.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ad import ADConfig
+from repro.apps.lulesh import LuleshApp
+from repro.apps.minibude import MinibudeApp, make_deck
+
+from conftest import save_and_print
+
+THREADS = (1, 2, 4, 8, 16, 32, 48, 64)
+LULESH_NX = 12          # paper block 96, scaled 8x down
+LULESH_STEPS = 3
+BUDE_DECK = dict(nprotein=24, nligand=8, nposes=256)
+
+
+def _sweep_app(run_fwd, run_grad, label):
+    rows = []
+    base = None
+    for nt in THREADS:
+        f = run_fwd(nt)
+        g = run_grad(nt)
+        if base is None:
+            base = f
+        rows.append({"impl": label, "threads": nt, "forward_s": f,
+                     "gradient_s": g, "fwd_speedup": base / f,
+                     "overhead": g / f})
+    return rows
+
+
+def test_fig9_lulesh_threads(bench_once):
+    def experiment():
+        rows = []
+        configs = [
+            ("C++ OpenMP", "openmp", ADConfig()),
+            ("C++ OpenMPOpt", "openmp", ADConfig(openmp_opt=True,
+                                                 prefix="diffe_opt_")),
+            ("RAJA", "raja", ADConfig()),
+        ]
+        for label, flavor, cfg in configs:
+            app = LuleshApp(flavor, nx=LULESH_NX, ad_config=cfg)
+
+            def fwd(nt, app=app):
+                return app.run_forward(app.make_domains(), LULESH_STEPS,
+                                       nt).time
+
+            def grad(nt, app=app):
+                return app.run_gradient(app.make_domains(), LULESH_STEPS,
+                                        nt).time
+
+            rows += _sweep_app(fwd, grad, label)
+        return rows
+
+    rows = bench_once(experiment)
+    save_and_print("fig9_top_lulesh", "Fig 9 (top): LULESH thread strong "
+                   f"scaling, {LULESH_NX}^3 elems", rows)
+
+    by = {(r["impl"], r["threads"]): r for r in rows}
+    # gradient scales like the primal (§VIII)
+    for impl in ("C++ OpenMP", "C++ OpenMPOpt", "RAJA"):
+        f_sp = by[(impl, 1)]["forward_s"] / by[(impl, 32)]["forward_s"]
+        g_sp = by[(impl, 1)]["gradient_s"] / by[(impl, 32)]["gradient_s"]
+        assert g_sp > 0.5 * f_sp, impl
+    # OpenMPOpt lowers the gradient overhead (§VIII: "the overhead drops
+    # when OpenMPOpt is enabled")
+    assert by[("C++ OpenMPOpt", 32)]["overhead"] < \
+        by[("C++ OpenMP", 32)]["overhead"]
+    # RAJA behaves like OpenMP (it lowers onto it, §V-D)
+    assert by[("RAJA", 32)]["overhead"] == pytest.approx(
+        by[("C++ OpenMP", 32)]["overhead"], rel=0.5)
+
+
+def test_fig9_minibude_threads(bench_once):
+    def experiment():
+        rows = []
+        deck = make_deck(**BUDE_DECK)
+        configs = [
+            ("C++ OpenMP", "openmp", ADConfig()),
+            ("C++ OpenMPOpt", "openmp", ADConfig(openmp_opt=True,
+                                                 prefix="diffe_opt_")),
+            ("Julia Tasks", "julia", ADConfig()),
+        ]
+        for label, variant, cfg in configs:
+            app = MinibudeApp(variant, deck, ad_config=cfg, ntasks=64)
+
+            def fwd(nt, app=app):
+                return app.run_forward(num_threads=nt).time
+
+            def grad(nt, app=app):
+                return app.run_gradient(num_threads=nt)[1].time
+
+            rows += _sweep_app(fwd, grad, label)
+        return rows
+
+    rows = bench_once(experiment)
+    save_and_print("fig9_bot_minibude", "Fig 9 (bottom): miniBUDE thread "
+                   "strong scaling", rows)
+
+    by = {(r["impl"], r["threads"]): r for r in rows}
+    # §VIII: "With regular OpenMP, the gradient overhead worsens as
+    # threads increase but does not grow with OpenMPOpt."
+    noopt_growth = by[("C++ OpenMP", 64)]["overhead"] / \
+        by[("C++ OpenMP", 1)]["overhead"]
+    opt_growth = by[("C++ OpenMPOpt", 64)]["overhead"] / \
+        by[("C++ OpenMPOpt", 1)]["overhead"]
+    assert noopt_growth > 1.15
+    assert opt_growth < 1.05
+    # "miniBUDE.jl's overhead is higher, but again scales well."
+    assert by[("Julia Tasks", 32)]["overhead"] > \
+        by[("C++ OpenMPOpt", 32)]["overhead"]
+    jl_sp = by[("Julia Tasks", 1)]["forward_s"] / \
+        by[("Julia Tasks", 16)]["forward_s"]
+    assert jl_sp > 4.0

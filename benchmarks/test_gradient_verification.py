@@ -1,0 +1,52 @@
+"""§VII gradient verification table: reverse projection vs finite
+differences for every application variant (the paper's correctness
+methodology, run as part of the benchmark suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lulesh import LuleshApp
+from repro.apps.minibude import MinibudeApp, make_deck
+
+from conftest import save_and_print
+
+LULESH_CASES = [
+    ("LULESH serial", "serial", 1, 1),
+    ("LULESH OpenMP", "openmp", 1, 4),
+    ("LULESH RAJA", "raja", 1, 4),
+    ("LULESH Julia", "julia", 1, 1),
+    ("LULESH MPI x8", "mpi", 2, 1),
+    ("LULESH hybrid x8x2", "hybrid", 2, 2),
+    ("LULESH Julia MPI x8", "julia_mpi", 2, 1),
+]
+
+BUDE_CASES = [
+    ("miniBUDE serial", "serial", 1),
+    ("miniBUDE OpenMP", "openmp", 4),
+    ("miniBUDE Julia tasks", "julia", 4),
+]
+
+
+def test_gradient_verification_table(bench_once):
+    def experiment():
+        rows = []
+        for label, flavor, pr, nt in LULESH_CASES:
+            app = LuleshApp(flavor, nx=2, pr=pr)
+            rev, fd = app.projection_check(steps=3, num_threads=nt)
+            rows.append({"variant": label, "reverse": rev, "fd": fd,
+                         "rel_err": abs(rev - fd) / max(1.0, abs(fd))})
+        deck = make_deck(nprotein=12, nligand=6, nposes=16)
+        for label, variant, nt in BUDE_CASES:
+            app = MinibudeApp(variant, deck)
+            rev, fd = app.projection_check(num_threads=nt)
+            rows.append({"variant": label, "reverse": rev, "fd": fd,
+                         "rel_err": abs(rev - fd) / max(1.0, abs(fd))})
+        return rows
+
+    rows = bench_once(experiment)
+    save_and_print("gradient_verification",
+                   "SVII verification: reverse projection vs central "
+                   "finite differences", rows)
+    for r in rows:
+        assert r["rel_err"] < 5e-4, r

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Teaching the AD engine a new parallel framework (paper §V).
+
+Enabling a framework takes the paper's three steps:
+
+  1. *identify* the parallelism (a runtime call or a marked construct),
+  2. tell the engine *how to call* it with the generated derivative,
+  3. mark what must be *preserved* for the adjoint.
+
+Here we register a toy "pet runtime" whose ``pet.launch``-style
+construct is just a marked ``parallel_for`` (step 1 is the
+framework tag; steps 2-3 fall out of the generic region handlers —
+the same reason RAJA needs zero explicit support, §V-D).  We then add
+a *custom reduction* to the catalog (§VI-A1) and show the engine
+using it instead of atomics for a loop-uniform accumulation.
+"""
+
+import contextlib
+
+import numpy as np
+
+from repro import Duplicated, ExecConfig, Executor, I64, IRBuilder, Ptr, \
+    autodiff, print_function
+from repro.ad.tls import DEFAULT_REDUCTIONS
+
+
+class PetRuntime:
+    """A 'new' parallel framework lowering onto the generic substrate."""
+
+    def __init__(self, b: IRBuilder) -> None:
+        self.b = b
+
+    @contextlib.contextmanager
+    def launch(self, n, name: str = "i"):
+        # Step 1: the construct is identified by its framework tag —
+        # like marking Base.threads_for for Julia's JIT (§V-A).
+        with self.b.parallel_for(0, n, framework="pet", name=name) as i:
+            yield i
+
+
+def main() -> None:
+    # Step "0": optionally register a reduction for the framework.
+    DEFAULT_REDUCTIONS.register("f64", "add")   # idempotent default
+
+    b = IRBuilder()
+    with b.function("weighted", [("x", Ptr()), ("w", Ptr()),
+                                 ("out", Ptr()), ("n", I64)]) as f:
+        x, w, out, n = f.args
+        pet = PetRuntime(b)
+        with pet.launch(n) as i:
+            scale = b.load(w, 0)           # loop-uniform read
+            v = b.load(x, i)
+            b.store(v * scale, out, i)
+
+    grad = autodiff(b.module, "weighted", [Duplicated, Duplicated,
+                                           Duplicated, None])
+    g = b.module.functions[grad]
+    print(print_function(g))
+
+    reductions = [op for op in g.walk()
+                  if op.opcode == "atomic"
+                  and op.attrs.get("via") == "reduction"]
+    print(f"loop-uniform shadow increments lowered to the registered "
+          f"reduction: {len(reductions)} site(s) "
+          f"(instead of per-iteration atomics)\n")
+
+    n = 8
+    x = np.arange(1.0, n + 1.0)
+    dx = np.zeros(n)
+    w = np.array([2.5])
+    dw = np.zeros(1)
+    out = np.zeros(n)
+    dout = np.ones(n)
+    Executor(b.module, ExecConfig(num_threads=4)).run(
+        grad, x, dx, w, dw, out, dout, n)
+    print("d/dx =", dx, " (expect 2.5 everywhere)")
+    print("d/dw =", dw, " (expect sum(x) =", x.sum(), ")")
+    assert np.allclose(dx, 2.5)
+    assert np.allclose(dw, x.sum())
+    print("OK — the 'pet' framework differentiates with zero "
+          "framework-specific adjoint code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Forward vs reverse mode on a parallel program (paper §III).
+
+Forward mode is efficient for few inputs / many outputs, reverse mode
+for many inputs / few outputs.  This example differentiates the same
+parallel kernel both ways, shows the JVP/VJP duality numerically, and
+compares the *generated code shapes*: forward mode keeps one parallel
+region and allocates no caches, reverse mode splits into the augmented
+forward + reverse regions of paper Fig. 4.
+"""
+
+import numpy as np
+
+from repro import (
+    Duplicated,
+    ExecConfig,
+    Executor,
+    I64,
+    IRBuilder,
+    Ptr,
+    autodiff,
+    autodiff_forward,
+)
+
+
+def main() -> None:
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(b.sin(v) * b.exp(v * 0.2), y, i)
+
+    rev = autodiff(b.module, "k", [Duplicated, Duplicated, None])
+    fwd = autodiff_forward(b.module, "k", [Duplicated, Duplicated, None])
+
+    def regions(fn_name):
+        fn = b.module.functions[fn_name]
+        pf = sum(1 for op in fn.walk() if op.opcode == "parallel_for")
+        caches = sum(1 for op in fn.walk() if op.opcode == "alloc"
+                     and op.attrs.get("stream"))
+        return pf, caches
+
+    print("generated code shapes:")
+    print(f"  reverse : {regions(rev)[0]} parallel regions, "
+          f"{regions(rev)[1]} cache buffers  (aug fwd + reverse, Fig. 4)")
+    print(f"  forward : {regions(fwd)[0]} parallel region,  "
+          f"{regions(fwd)[1]} cache buffers  (tangents in program order)")
+
+    n = 10
+    rng = np.random.default_rng(1)
+    x0 = rng.uniform(0.1, 1.5, n)
+    u = rng.normal(size=n)
+
+    # JVP along u
+    dy = np.zeros(n)
+    Executor(b.module, ExecConfig(num_threads=4)).run(
+        fwd, x0.copy(), u.copy(), np.zeros(n), dy, n)
+    jvp = dy.sum()
+
+    # VJP with all-ones output seed
+    dx = np.zeros(n)
+    Executor(b.module, ExecConfig(num_threads=4)).run(
+        rev, x0.copy(), dx, np.zeros(n), np.ones(n), n)
+    vjp = float(dx @ u)
+
+    print(f"\nJVP . 1  = {jvp:.12f}")
+    print(f"u  . VJP = {vjp:.12f}")
+    assert abs(jvp - vjp) < 1e-10
+    print("forward and reverse agree (duality check).")
+
+
+if __name__ == "__main__":
+    main()

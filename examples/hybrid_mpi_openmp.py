@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Differentiating hybrid MPI + OpenMP parallelism in one program.
+
+The paper's §I highlights that "jointly supporting these parallelism
+models in one tool naturally enables differentiation of hybrid parallel
+programs".  This example runs LULESH with 8 MPI ranks x OpenMP threads
+and shows the gradient scaling with both axes.
+"""
+
+from repro.apps.lulesh import LuleshApp
+
+STEPS = 3
+
+
+def main() -> None:
+    print("LULESH hybrid MPI x OpenMP (fixed total problem size)\n")
+    print(f"{'ranks':>6} {'threads':>8} {'cores':>6} "
+          f"{'forward':>12} {'gradient':>12} {'overhead':>9}")
+    base = None
+    for pr, nx, threads in ((1, 8, 1), (2, 4, 1), (2, 4, 2), (2, 4, 4),
+                            (2, 4, 8)):
+        app = LuleshApp("hybrid", nx=nx, pr=pr)
+        fwd = app.run_forward(app.make_domains(), STEPS, threads)
+        grad = app.run_gradient(app.make_domains(), STEPS, threads)
+        if base is None:
+            base = fwd.time
+        print(f"{pr ** 3:>6} {threads:>8} {pr ** 3 * threads:>6} "
+              f"{fwd.time:>12.3e} {grad.time:>12.3e} "
+              f"{grad.time / fwd.time:>8.2f}x   "
+              f"(speedup {base / fwd.time:.2f}x)")
+    print("\nThe reverse pass communicates through shadow requests "
+          "(paper Fig. 5) while its parallel loops reverse into "
+          "parallel loops (Fig. 4) — both parallelism levels survive "
+          "differentiation.")
+
+
+if __name__ == "__main__":
+    main()

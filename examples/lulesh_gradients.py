@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Differentiate the LULESH shock-hydrodynamics proxy end to end.
+
+Runs the Sedov blast forward under several parallel frameworks, then
+computes d(final energy)/d(initial coordinates & energy) with the
+Enzyme-style compiler AD — the paper's flagship demonstration — and
+cross-checks one variant against the CoDiPack-style tape baseline and
+finite differences (§VII's projection test).
+"""
+
+import numpy as np
+
+from repro.apps.lulesh import LuleshApp
+
+STEPS = 4
+
+
+def run_variant(flavor: str, pr: int = 1, num_threads: int = 1) -> None:
+    app = LuleshApp(flavor, nx=3 if pr == 1 else 2, pr=pr)
+    doms = app.make_domains()
+    fwd = app.run_forward(doms, STEPS, num_threads)
+    e_final = sum(d["e"].sum() for d in doms)
+
+    doms = app.make_domains()
+    shadows = [d.shadow_arrays(0.0) for d in doms]
+    for sh in shadows:
+        sh["e"][...] = 1.0            # seed: objective = sum final energy
+    grad = app.run_gradient(doms, STEPS, num_threads, shadows)
+    g_norm = sum(float(np.abs(sh["x"]).sum() + np.abs(sh["e"]).sum())
+                 for sh in shadows)
+    print(f"{flavor:10s} ranks={pr ** 3} threads={num_threads}: "
+          f"E_final={e_final:.6e}  |dE/dinputs|_1={g_norm:.6e}  "
+          f"fwd={fwd.time:.3e}s grad={grad.time:.3e}s "
+          f"overhead={grad.time / fwd.time:.2f}x")
+    return shadows
+
+
+def main() -> None:
+    print("LULESH Sedov blast, Lagrange leapfrog,", STEPS, "steps\n")
+    run_variant("serial")
+    run_variant("openmp", num_threads=8)
+    run_variant("raja", num_threads=8)
+    run_variant("julia")
+    run_variant("mpi", pr=2)
+    run_variant("hybrid", pr=2, num_threads=2)
+    run_variant("julia_mpi", pr=2)
+
+    # Cross-check: Enzyme gradient vs the operator-overloading tape.
+    print("\ncross-checking Enzyme vs CoDiPack-model tape (serial)...")
+    app = LuleshApp("serial", nx=2)
+    doms = app.make_domains()
+    shadows = [d.shadow_arrays(0.0) for d in doms]
+    shadows[0]["e"][...] = 1.0
+    app.run_gradient(doms, STEPS, 1, shadows)
+    doms2 = app.make_domains()
+    _res, tapes = app.run_codipack_gradient(doms2, STEPS)
+    for f in ("x", "y", "z", "e"):
+        np.testing.assert_allclose(shadows[0][f],
+                                   tapes[0].gradient_of(doms2[0][f]),
+                                   rtol=1e-7, atol=1e-9)
+    print("tape and Enzyme derivatives agree.")
+
+    print("\nfinite-difference projection check (SVII)...")
+    rev, fd = app.projection_check(steps=STEPS)
+    print(f"reverse={rev:.6f}  fd={fd:.6f}  "
+          f"rel err={abs(rev - fd) / abs(fd):.2e}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

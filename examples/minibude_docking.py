@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Gradient-based pose refinement with the differentiated miniBUDE.
+
+The paper's second application evaluates binding energies over many
+candidate poses.  With the Enzyme-style gradient we get d(energy)/d(pose
+parameters) for *every* pose in one reverse sweep — and can run a few
+steps of gradient descent to relax the poses, something the original
+miniBUDE cannot do at all.
+"""
+
+import numpy as np
+
+from repro.apps.minibude import MinibudeApp, make_deck
+
+
+def main() -> None:
+    deck = make_deck(nprotein=24, nligand=8, nposes=32)
+    app = MinibudeApp("openmp", deck)
+
+    res = app.run_forward(num_threads=8)
+    print(f"initial energies: best={res.energies.min():.4f} "
+          f"mean={res.energies.mean():.4f} "
+          f"(simulated {res.time:.3e}s on 8 threads)")
+
+    # A few steps of gradient descent on all poses simultaneously.
+    lr = 2e-3
+    for it in range(8):
+        shadows, g = app.run_gradient(num_threads=8)
+        dposes = shadows["poses"]
+        deck.poses[...] -= lr * dposes.reshape(deck.poses.shape)
+        res = app.run_forward(num_threads=8)
+        print(f"iter {it}: best={res.energies.min():.4f} "
+              f"mean={res.energies.mean():.4f} "
+              f"|g|={np.abs(dposes).mean():.3f} "
+              f"grad overhead={g.time / res.time:.2f}x")
+
+    final = app.run_forward(num_threads=8)
+    print(f"\nrefined energies: best={final.energies.min():.4f} "
+          f"mean={final.energies.mean():.4f}")
+    print("(every pose relaxed with one reverse-mode sweep per step)")
+
+    # Also show the Julia-tasks variant agreeing bit-for-bit.
+    app_jl = MinibudeApp("julia", deck)
+    res_jl = app_jl.run_forward(num_threads=8)
+    np.testing.assert_allclose(res_jl.energies, final.energies, rtol=1e-10)
+    print("Julia-tasks variant matches the OpenMP energies.")
+
+
+if __name__ == "__main__":
+    main()

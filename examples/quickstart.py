@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: differentiate a parallel program with the repro Enzyme.
+
+Reproduces the paper's running example (Figs. 3-4): an OpenMP-style
+parallel loop squaring an array, differentiated at the compiler level.
+The generated gradient contains exactly the structure of Fig. 4 — an
+augmented forward parallel region that caches the overwritten inputs
+plus a reverse parallel region that replays them.
+"""
+
+import numpy as np
+
+from repro import (
+    Duplicated,
+    ExecConfig,
+    Executor,
+    I64,
+    IRBuilder,
+    Ptr,
+    autodiff,
+    print_function,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Write the program (this is the role of the C++/Julia frontend).
+    # ------------------------------------------------------------------
+    b = IRBuilder()
+    with b.function("square", [("data", Ptr()), ("n", I64)]) as f:
+        data, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(data, i)
+            b.store(v * v, data, i)
+
+    print("primal IR:")
+    print(print_function(b.module.functions["square"]))
+
+    # ------------------------------------------------------------------
+    # 2. Differentiate it.  `Duplicated` follows Enzyme's convention:
+    #    the pointer argument is followed by its shadow in the gradient
+    #    signature; output shadows act as seeds.
+    # ------------------------------------------------------------------
+    grad = autodiff(b.module, "square", [Duplicated, None])
+    print("generated gradient IR (note the two parallel regions — the")
+    print("augmented forward and the reverse pass of paper Fig. 4):")
+    print(print_function(b.module.functions[grad]))
+
+    # ------------------------------------------------------------------
+    # 3. Run both on the simulated 64-core machine.
+    # ------------------------------------------------------------------
+    n = 16
+    x = np.arange(1.0, n + 1)
+    ex = Executor(b.module, ExecConfig(num_threads=8))
+    ex.run("square", x.copy(), n)
+
+    x0 = np.arange(1.0, n + 1)
+    dx = np.ones(n)           # seed: d(sum of outputs)/d(output_i) = 1
+    ex = Executor(b.module, ExecConfig(num_threads=8))
+    ex.run(grad, x0.copy(), dx, n)
+
+    print("x           =", np.arange(1.0, n + 1))
+    print("d(x^2)/dx   =", dx)
+    assert np.allclose(dx, 2.0 * np.arange(1.0, n + 1))
+    print(f"\nsimulated gradient time on 8 threads: {ex.clock:.3e} s")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim (the offline environment lacks the `wheel` package,
+so PEP 517 editable installs are unavailable; this enables the legacy
+`pip install -e . --no-use-pep517` path)."""
+
+from setuptools import setup
+
+setup()

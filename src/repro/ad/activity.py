@@ -1,0 +1,136 @@
+"""Activity analysis.
+
+Decides which float SSA values and which memory origins carry
+derivative information.  Inactive values get no adjoints, inactive
+buffers get no shadows, and the cache planner never preserves primal
+values that only feed inactive computation — the same pruning role
+activity analysis plays inside Enzyme (§II mentions how separate
+adjoint-MPI libraries interfere with it; here it is integral).
+
+Forward taint fixpoint:
+* ``Active``/``Duplicated`` arguments seed the analysis,
+* float ops propagate taint operand→result,
+* a load from an active origin is active,
+* a store of an active value activates the destination's origins,
+* ``memcpy`` propagates origin activity,
+* MPI communication propagates activity between buffers (a receive
+  into a buffer is active whenever any rank sends active data; we
+  conservatively treat communicated buffers as active if any
+  communicated origin is active).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Module
+from ..ir.ops import Op
+from ..ir.types import F64, PointerType
+from ..ir.values import Argument, Constant, Value
+from ..passes.aliasing import UNKNOWN, AliasInfo
+
+
+class ActivityInfo:
+    def __init__(self) -> None:
+        self.active_values: set[Value] = set()
+        self.active_origins: set = set()
+        self.all_origins_active = False
+
+    def value_active(self, v: Value) -> bool:
+        return v in self.active_values
+
+    def origin_active(self, origin) -> bool:
+        return self.all_origins_active or origin in self.active_origins
+
+    def ptr_active(self, ptr: Value, aliasing: AliasInfo) -> bool:
+        p = aliasing.provenance(ptr)
+        if UNKNOWN in p:
+            return True  # conservative
+        return any(self.origin_active(o) for o in p)
+
+
+#: Float ops that never propagate activity (discrete results).
+_DISCRETE = {"cmp", "ftoi", "floor", "itof"}
+
+
+def analyze_activity(fn: Function, module: Module, aliasing: AliasInfo,
+                     duplicated_args: set[Argument],
+                     active_scalar_args: set[Argument]) -> ActivityInfo:
+    info = ActivityInfo()
+    info.active_values |= active_scalar_args
+    for a in duplicated_args:
+        info.active_origins.add(("arg", a))
+
+    # MPI and other opaque communication can launder activity through
+    # memory; treat any function that communicates through an UNKNOWN
+    # pointer as fully active.
+    for _round in range(16):
+        changed = False
+
+        def activate_value(v: Value) -> None:
+            nonlocal changed
+            if v not in info.active_values:
+                info.active_values.add(v)
+                changed = True
+
+        def activate_origins(p: frozenset) -> None:
+            nonlocal changed
+            if UNKNOWN in p:
+                if not info.all_origins_active:
+                    info.all_origins_active = True
+                    changed = True
+                return
+            for o in p:
+                if not info.origin_active(o):
+                    info.active_origins.add(o)
+                    changed = True
+
+        for op in fn.walk():
+            oc = op.opcode
+            if oc in _DISCRETE:
+                continue
+            if oc == "load":
+                if op.result.type is F64 and info.ptr_active(
+                        op.operands[0], aliasing):
+                    activate_value(op.result)
+            elif oc == "store":
+                val = op.operands[0]
+                if val.type is F64 and (val in info.active_values):
+                    activate_origins(aliasing.provenance(op.operands[1]))
+            elif oc == "atomic":
+                if op.operands[0] in info.active_values:
+                    activate_origins(aliasing.provenance(op.operands[1]))
+            elif oc == "memcpy":
+                src_p = aliasing.provenance(op.operands[1])
+                if UNKNOWN in src_p or any(info.origin_active(o)
+                                           for o in src_p):
+                    activate_origins(aliasing.provenance(op.operands[0]))
+            elif oc == "memset":
+                if op.operands[1] in info.active_values:
+                    activate_origins(aliasing.provenance(op.operands[0]))
+            elif oc == "call":
+                callee = op.attrs["callee"]
+                if callee.startswith("mpi."):
+                    # Communication: conservatively, any pointer operand
+                    # of an MPI call on an active origin activates every
+                    # other pointer operand (send->recv pairing happens
+                    # across ranks, which this per-rank analysis cannot
+                    # see).
+                    ptrs = [v for v in op.operands
+                            if isinstance(v.type, PointerType)]
+                    if any(info.ptr_active(p, aliasing) for p in ptrs):
+                        for p in ptrs:
+                            activate_origins(aliasing.provenance(p))
+                    # MPI moves active data between ranks even when this
+                    # rank's sends are inactive; communicated buffers are
+                    # treated as active if any duplicated arg exists.
+                    if duplicated_args:
+                        for p in ptrs:
+                            activate_origins(aliasing.provenance(p))
+                elif op.result is not None and op.result.type is F64:
+                    if any(v in info.active_values for v in op.operands):
+                        activate_value(op.result)
+            elif op.result is not None and op.result.type is F64:
+                if any(v in info.active_values for v in op.operands):
+                    activate_value(op.result)
+        if not changed:
+            break
+    return info

@@ -1,0 +1,271 @@
+"""Per-opcode adjoint rules for arithmetic instructions.
+
+Each rule provides two views used by the two AD phases:
+
+* ``deps(op, active)`` — which *primal* values the adjoint needs
+  (consumed by the cache planner, §IV-C);
+* ``emit(b, op, adj, av, active)`` — build the partial-derivative
+  contributions in the reverse pass, where ``av(v)`` resolves a primal
+  value to something available at the reverse program point (the
+  forward clone's SSA value, a cache load, or a rematerialization).
+
+The four-step model of §IV — load shadow, compute partials, multiply,
+increment operand shadows — is realized by the transform driver; rules
+only implement steps 2–3 (partial × adjoint) per operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.types import F64
+from ..ir.values import Value
+
+
+@dataclass(frozen=True)
+class AdjointRule:
+    #: primal values needed, given a predicate telling which operands
+    #: are active.
+    deps: Callable
+    #: emit partial contributions: list of (operand_index, Value).
+    emit: Callable
+
+
+def _float_operands(op):
+    return [(i, v) for i, v in enumerate(op.operands) if v.type is F64]
+
+
+RULES: dict[str, AdjointRule] = {}
+
+
+def _rule(opcode):
+    def deco(cls_fns):
+        deps, emit = cls_fns()
+        RULES[opcode] = AdjointRule(deps, emit)
+        return cls_fns
+    return deco
+
+
+# --- linear ops: no primal deps ------------------------------------------
+
+def _no_deps(op, active):
+    return []
+
+
+RULES["add"] = AdjointRule(
+    _no_deps,
+    lambda b, op, adj, av, active: [(i, adj) for i in (0, 1) if active(i)])
+
+RULES["sub"] = AdjointRule(
+    _no_deps,
+    lambda b, op, adj, av, active:
+        ([(0, adj)] if active(0) else []) +
+        ([(1, b.neg(adj))] if active(1) else []))
+
+RULES["neg"] = AdjointRule(
+    _no_deps,
+    lambda b, op, adj, av, active: [(0, b.neg(adj))] if active(0) else [])
+
+
+# --- bilinear / nonlinear --------------------------------------------------
+
+def _mul_deps(op, active):
+    deps = []
+    if active(0):
+        deps.append(op.operands[1])
+    if active(1):
+        deps.append(op.operands[0])
+    return deps
+
+
+def _mul_emit(b, op, adj, av, active):
+    out = []
+    if active(0):
+        out.append((0, b.mul(adj, av(op.operands[1]))))
+    if active(1):
+        out.append((1, b.mul(adj, av(op.operands[0]))))
+    return out
+
+
+RULES["mul"] = AdjointRule(_mul_deps, _mul_emit)
+
+
+def _div_deps(op, active):
+    deps = []
+    if active(0) or active(1):
+        deps.append(op.operands[1])
+    if active(1):
+        deps.append(op.operands[0])
+    return deps
+
+
+def _div_emit(b, op, adj, av, active):
+    out = []
+    y = av(op.operands[1]) if (active(0) or active(1)) else None
+    if active(0):
+        out.append((0, b.div(adj, y)))
+    if active(1):
+        x = av(op.operands[0])
+        out.append((1, b.neg(b.div(b.mul(adj, x), b.mul(y, y)))))
+    return out
+
+
+RULES["div"] = AdjointRule(_div_deps, _div_emit)
+
+
+def _fma_deps(op, active):
+    deps = []
+    if active(0):
+        deps.append(op.operands[1])
+    if active(1):
+        deps.append(op.operands[0])
+    return deps
+
+
+def _fma_emit(b, op, adj, av, active):
+    out = []
+    if active(0):
+        out.append((0, b.mul(adj, av(op.operands[1]))))
+    if active(1):
+        out.append((1, b.mul(adj, av(op.operands[0]))))
+    if active(2):
+        out.append((2, adj))
+    return out
+
+
+RULES["fma"] = AdjointRule(_fma_deps, _fma_emit)
+
+
+def _minmax(opcode, pred):
+    def deps(op, active):
+        if active(0) or active(1):
+            return [op.operands[0], op.operands[1]]
+        return []
+
+    def emit(b, op, adj, av, active):
+        x, y = av(op.operands[0]), av(op.operands[1])
+        chooses_x = b.cmp(pred, x, y)
+        zero = b.const(0.0)
+        out = []
+        if active(0):
+            out.append((0, b.select(chooses_x, adj, zero)))
+        if active(1):
+            out.append((1, b.select(chooses_x, zero, adj)))
+        return out
+
+    RULES[opcode] = AdjointRule(deps, emit)
+
+
+_minmax("min", "le")
+_minmax("max", "ge")
+
+
+def _select_deps(op, active):
+    if active(1) or active(2):
+        return [op.operands[0]]
+    return []
+
+
+def _select_emit(b, op, adj, av, active):
+    c = av(op.operands[0])
+    zero = b.const(0.0)
+    out = []
+    if active(1):
+        out.append((1, b.select(c, adj, zero)))
+    if active(2):
+        out.append((2, b.select(c, zero, adj)))
+    return out
+
+
+RULES["select"] = AdjointRule(_select_deps, _select_emit)
+
+
+# --- unary nonlinear --------------------------------------------------------
+
+def _unary(opcode, deps_of, emit_fn):
+    def deps(op, active):
+        return deps_of(op) if active(0) else []
+
+    def emit(b, op, adj, av, active):
+        if not active(0):
+            return []
+        return [(0, emit_fn(b, op, adj, av))]
+
+    RULES[opcode] = AdjointRule(deps, emit)
+
+
+_unary("abs", lambda op: [op.operands[0]],
+       lambda b, op, adj, av: b.mul(adj, b.copysign(1.0, av(op.operands[0]))))
+
+# sqrt: d = adj / (2*sqrt(x)) — expressed through the primal *result*.
+_unary("sqrt", lambda op: [op.result],
+       lambda b, op, adj, av: b.div(adj, b.mul(2.0, av(op.result))))
+
+# cbrt: r = x^(1/3); dr/dx = r / (3x).
+_unary("cbrt", lambda op: [op.result, op.operands[0]],
+       lambda b, op, adj, av: b.div(b.mul(adj, av(op.result)),
+                                    b.mul(3.0, av(op.operands[0]))))
+
+_unary("sin", lambda op: [op.operands[0]],
+       lambda b, op, adj, av: b.mul(adj, b.cos(av(op.operands[0]))))
+
+_unary("cos", lambda op: [op.operands[0]],
+       lambda b, op, adj, av: b.neg(b.mul(adj, b.sin(av(op.operands[0])))))
+
+# tan: d/dx = 1 + tan(x)^2, via the result.
+_unary("tan", lambda op: [op.result],
+       lambda b, op, adj, av: b.mul(adj, b.fma(av(op.result), av(op.result),
+                                               b.const(1.0))))
+
+_unary("exp", lambda op: [op.result],
+       lambda b, op, adj, av: b.mul(adj, av(op.result)))
+
+_unary("log", lambda op: [op.operands[0]],
+       lambda b, op, adj, av: b.div(adj, av(op.operands[0])))
+
+
+def _pow_deps(op, active):
+    deps = []
+    if active(0):
+        deps.extend([op.operands[0], op.operands[1]])
+    if active(1):
+        deps.extend([op.operands[0], op.result])
+    return deps
+
+
+def _pow_emit(b, op, adj, av, active):
+    out = []
+    if active(0):
+        x, y = av(op.operands[0]), av(op.operands[1])
+        out.append((0, b.mul(adj, b.mul(y, b.pow(x, b.sub(y, 1.0))))))
+    if active(1):
+        x, r = av(op.operands[0]), av(op.result)
+        out.append((1, b.mul(adj, b.mul(r, b.log(x)))))
+    return out
+
+
+RULES["pow"] = AdjointRule(_pow_deps, _pow_emit)
+
+
+def _copysign_deps(op, active):
+    return [op.operands[0], op.operands[1]] if active(0) else []
+
+
+def _copysign_emit(b, op, adj, av, active):
+    if not active(0):
+        return []  # derivative w.r.t. the sign source is 0 a.e.
+    sx = b.copysign(1.0, av(op.operands[0]))
+    sy = b.copysign(1.0, av(op.operands[1]))
+    return [(0, b.mul(adj, b.mul(sx, sy)))]
+
+
+RULES["copysign"] = AdjointRule(_copysign_deps, _copysign_emit)
+
+
+#: Float-producing opcodes with *zero* derivative (discrete / casts).
+ZERO_DERIVATIVE = frozenset({"floor", "itof"})
+
+
+def rule_for(opcode: str) -> AdjointRule | None:
+    return RULES.get(opcode)

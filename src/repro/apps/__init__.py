@@ -1,0 +1,1 @@
+"""repro.apps — the paper's proxy applications (LULESH, miniBUDE)."""

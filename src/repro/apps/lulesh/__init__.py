@@ -1,0 +1,19 @@
+"""repro.apps.lulesh — the LULESH shock-hydrodynamics proxy.
+
+Variants (paper §VII): C++-style ``serial``/``openmp``/``raja``/``mpi``
+/``hybrid``/``raja_mpi`` and Julia-style ``julia``/``julia_mpi``, all
+emitting the same physics so results agree across frameworks and
+decompositions.
+"""
+
+from .driver import LuleshApp, domain_args, gradient_activities
+from .kernels import FLAVORS, build_lulesh
+from .mesh import Domain, build_domain, gather_global
+from .physics import DEFAULT_PARAMS, LuleshParams
+
+__all__ = [
+    "LuleshApp", "domain_args", "gradient_activities",
+    "FLAVORS", "build_lulesh",
+    "Domain", "build_domain", "gather_global",
+    "DEFAULT_PARAMS", "LuleshParams",
+]

@@ -1,0 +1,256 @@
+"""Drivers: run LULESH variants forward, differentiate them, verify.
+
+The measured quantities mirror the paper's: *forward* is the primal
+run, *gradient* runs the generated derivative (which re-runs the primal
+as its augmented forward pass), and *overhead* is gradient/forward in
+simulated seconds (§VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...ad import ADConfig, Duplicated, autodiff
+from ...baselines.codipack import CoDiPackTape
+from ...interp import ExecConfig, Executor
+from ...parallel.mpi import SimMPI
+from ...perf.machine import MachineModel, c6i_metal
+from .kernels import FLAVORS, build_lulesh
+from .mesh import (
+    ALL_FIELDS,
+    ALL_FLOAT_FIELDS,
+    Domain,
+    build_domain,
+)
+from .physics import DEFAULT_PARAMS, LuleshParams
+
+
+def domain_args(dom: Domain, steps: int, shadows: Optional[dict] = None
+                ) -> tuple:
+    """Argument tuple in the variant function's order; when ``shadows``
+    is given, each float field is followed by its shadow (the gradient
+    signature)."""
+    out = []
+    for name in ALL_FIELDS:
+        out.append(dom[name])
+        if shadows is not None and name in ALL_FLOAT_FIELDS:
+            out.append(shadows[name])
+    out.append(steps)
+    return tuple(out)
+
+
+def gradient_activities() -> list:
+    acts: list = []
+    for name in ALL_FIELDS:
+        acts.append(Duplicated if name in ALL_FLOAT_FIELDS else None)
+    acts.append(None)  # steps
+    return acts
+
+
+@dataclass
+class RunResult:
+    time: float                  # simulated seconds
+    clocks: list = field(default_factory=list)
+    cost: object = None
+
+
+class LuleshApp:
+    """One built variant at one problem size."""
+
+    def __init__(self, flavor: str, nx: int, pr: int = 1,
+                 params: LuleshParams = DEFAULT_PARAMS,
+                 ad_config: Optional[ADConfig] = None,
+                 machine: Optional[MachineModel] = None) -> None:
+        if flavor not in FLAVORS:
+            raise ValueError(f"unknown flavor {flavor!r}; "
+                             f"choose from {sorted(FLAVORS)}")
+        self.flavor = FLAVORS[flavor]
+        self.nx = nx
+        self.pr = pr
+        self.params = params
+        self.machine = machine or c6i_metal()
+        self.module, self.fn = build_lulesh(flavor, nx, pr, params)
+        self.ad_config = ad_config or ADConfig()
+        if self.flavor.style == "julia":
+            self.ad_config.cache_space = "gc"
+        self._grad: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.pr ** 3
+
+    def make_domains(self, background_energy: float = 0.0) -> list[Domain]:
+        """Build the rank domains.  ``background_energy`` adds a uniform
+        positive energy floor: it moves the initial state off the
+        p ≥ 0 / ss = sqrt(p) kinks, which finite differences straddle
+        while AD takes a one-sided subgradient (used by the §VII
+        verification; physics-shape runs use the raw Sedov state)."""
+        doms = [build_domain(self.nx, self.pr, r, self.params)
+                for r in range(self.nprocs)]
+        if background_energy:
+            g = self.params.gamma
+            for d in doms:
+                d["e"][...] += background_energy
+                d["p"][...] = np.maximum(
+                    (g - 1.0) * d["e"] / d["v"], self.params.p_min)
+        return doms
+
+    def grad_fn(self) -> str:
+        if self._grad is None:
+            self._grad = autodiff(self.module, self.fn,
+                                  gradient_activities(), self.ad_config)
+        return self._grad
+
+    def _config(self, num_threads: int) -> ExecConfig:
+        impl = "mpich" if self.flavor.style == "julia" else "openmpi"
+        return ExecConfig(num_threads=num_threads, machine=self.machine,
+                          mpi_impl=impl)
+
+    # ------------------------------------------------------------------
+    def run_forward(self, domains: list[Domain], steps: int,
+                    num_threads: int = 1) -> RunResult:
+        if self.flavor.mpi:
+            engine = SimMPI(self.module, self.nprocs,
+                            self._config(num_threads), self.machine)
+            res = engine.run(self.fn, lambda r: domain_args(
+                domains[r], steps))
+            return RunResult(res.time, res.clocks, res.total_cost)
+        ex = Executor(self.module, self._config(num_threads))
+        ex.run(self.fn, *domain_args(domains[0], steps))
+        return RunResult(ex.clock, [ex.clock], ex.cost)
+
+    def run_gradient(self, domains: list[Domain], steps: int,
+                     num_threads: int = 1,
+                     shadows: Optional[list[dict]] = None) -> RunResult:
+        """Run the Enzyme-generated gradient.  ``shadows`` default to
+        the paper's projection seeding (every shadow = 1)."""
+        grad = self.grad_fn()
+        if shadows is None:
+            shadows = [d.shadow_arrays(seed=1.0) for d in domains]
+        if self.flavor.mpi:
+            engine = SimMPI(self.module, self.nprocs,
+                            self._config(num_threads), self.machine)
+            res = engine.run(grad, lambda r: domain_args(
+                domains[r], steps, shadows[r]))
+            return RunResult(res.time, res.clocks, res.total_cost)
+        ex = Executor(self.module, self._config(num_threads))
+        ex.run(grad, *domain_args(domains[0], steps, shadows[0]))
+        return RunResult(ex.clock, [ex.clock], ex.cost)
+
+    # ------------------------------------------------------------------
+    def run_codipack_forward(self, domains: list[Domain], steps: int
+                             ) -> tuple[RunResult, list[CoDiPackTape]]:
+        """The baseline's *forward*: the primal recorded onto the tape
+        (the rewritten-to-AD-types application the paper benchmarks)."""
+        tapes: list[CoDiPackTape] = [None] * max(1, self.nprocs)
+
+        def make_gen(r, ex):
+            tape = CoDiPackTape(ex.interp)
+            ex.interp.tape = tape
+            tapes[r] = tape
+            args = domain_args(domains[r], steps)
+            wrapped = ex.wrap_args(self.fn, args)
+            for name in ("x", "y", "z", "e"):
+                tape.register_input(domains[r][name])
+            return ex.interp.call_generator(self.fn, wrapped)
+
+        if self.flavor.mpi:
+            engine = SimMPI(self.module, self.nprocs, self._config(1),
+                            self.machine)
+            res = engine.run_custom(make_gen)
+            return RunResult(res.time, res.clocks, res.total_cost), tapes
+        ex = Executor(self.module, self._config(1))
+        for ev in make_gen(0, ex):
+            raise RuntimeError(f"unexpected MPI event {ev!r}")
+        ex.interp.flush_serial()
+        return RunResult(ex.clock, [ex.clock], ex.cost), tapes
+
+    def run_codipack_gradient(self, domains: list[Domain], steps: int
+                              ) -> tuple[RunResult, list[CoDiPackTape]]:
+        """Baseline: the primal under operator-overloading taping plus
+        tape reversal with adjoint MPI (num_threads is forcibly 1 —
+        CoDiPack cannot record threaded runs)."""
+        tapes: list[CoDiPackTape] = [None] * max(1, self.nprocs)
+
+        def make_gen(r, ex):
+            tape = CoDiPackTape(ex.interp)
+            ex.interp.tape = tape
+            tapes[r] = tape
+            args = domain_args(domains[r], steps)
+            wrapped = ex.wrap_args(self.fn, args)
+            for name in ("x", "y", "z", "e"):
+                tape.register_input(domains[r][name])
+
+            def gen():
+                yield from ex.interp.call_generator(self.fn, wrapped)
+                tape.seed_buffer(domains[r]["e"])
+                yield from tape.reverse_generator()
+            return gen()
+
+        if self.flavor.mpi:
+            engine = SimMPI(self.module, self.nprocs, self._config(1),
+                            self.machine)
+            res = engine.run_custom(make_gen)
+            return RunResult(res.time, res.clocks, res.total_cost), tapes
+        ex = Executor(self.module, self._config(1))
+        gen = make_gen(0, ex)
+        for ev in gen:
+            raise RuntimeError(f"unexpected MPI event {ev!r}")
+        ex.interp.flush_serial()
+        return RunResult(ex.clock, [ex.clock], ex.cost), tapes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def final_report(domains: list[Domain]) -> dict:
+        """LULESH-style end-of-run summary (the quantities the original
+        prints as its correctness check [18])."""
+        import numpy as np
+        total_e = sum(float(d["e"].sum()) for d in domains)
+        max_abs_v = max(float(np.max(np.abs(np.concatenate(
+            [d["xd"], d["yd"], d["zd"]])))) for d in domains)
+        ts = domains[0]["timestate"]
+        return {
+            "final_origin_energy": float(domains[0]["e"][0]),
+            "total_energy": total_e,
+            "max_abs_velocity": max_abs_v,
+            "max_pressure": max(float(d["p"].max()) for d in domains),
+            "elapsed_time": float(ts[0]),
+            "dt": float(ts[1]),
+        }
+
+    # ------------------------------------------------------------------
+    def projection_check(self, steps: int, num_threads: int = 1,
+                         eps: float = 1e-6,
+                         background_energy: float = 1.0e4
+                         ) -> tuple[float, float]:
+        """§VII verification: all-ones reverse projection vs. central
+        finite differences over the initial (x, y, z, e) fields.
+
+        Run at a smooth base point (positive background energy) so the
+        two-sided finite difference and the one-sided AD subgradient
+        measure the same thing.
+        """
+        wrt = ("x", "y", "z", "e")
+        seed_fields = ALL_FLOAT_FIELDS
+
+        def primal_value(delta: float) -> float:
+            doms = self.make_domains(background_energy)
+            for d in doms:
+                for f in wrt:
+                    d[f][...] += delta
+            self.run_forward(doms, steps, num_threads)
+            return sum(float(sum(d[f].sum() for f in seed_fields))
+                       for d in doms)
+
+        fd = (primal_value(eps) - primal_value(-eps)) / (2 * eps)
+
+        doms = self.make_domains(background_energy)
+        shadows = [d.shadow_arrays(seed=1.0) for d in doms]
+        self.run_gradient(doms, steps, num_threads, shadows)
+        rev = sum(float(sum(sh[f].sum() for f in wrt))
+                  for sh in shadows)
+        return rev, fd

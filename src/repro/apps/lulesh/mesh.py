@@ -1,0 +1,262 @@
+"""Mesh, domain state, and cube decomposition for the LULESH proxy.
+
+A rank owns an ``nx``³ block of hexahedral elements ((nx+1)³ nodes) out
+of a ``pr``³ rank cube, with node planes *duplicated* across adjacent
+ranks exactly as in LULESH: boundary nodal forces are summed across
+ranks each step (CommSBN), after which duplicated nodes evolve
+identically everywhere.
+
+The connectivity is stored unstructured — ``nodelist`` (8 corners per
+element), an ELL-padded node→corner map for the force scatter, and
+``lxim``/…/``lzetap`` element-neighbour arrays — mimicking "the complex
+data movement characteristics of unstructured data structures" (§VII)
+even though the underlying mesh is a regular cube, just like LULESH
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .physics import DEFAULT_PARAMS, HEX_CORNERS, LuleshParams
+
+#: Global edge length of the cube domain (LULESH uses 1.125).
+DOMAIN_EDGE = 1.125
+
+#: Array names in the canonical argument order of every variant.
+NODAL_FIELDS = ("x", "y", "z", "xd", "yd", "zd", "fx", "fy", "fz",
+                "nodal_mass")
+ELEM_FIELDS = ("e", "p", "q", "v", "volo", "ss", "vdov", "delv",
+               "arealg", "elem_mass")
+INT_FIELDS = ("nodelist", "corner_ell", "lxim", "lxip", "letam", "letap",
+              "lzetam", "lzetap")
+MASK_FIELDS = ("symm_x", "symm_y", "symm_z")
+TIME_FIELD = "timestate"          # [time, dt, dtcourant, dthydro]
+
+ALL_FLOAT_FIELDS = NODAL_FIELDS + ELEM_FIELDS + (TIME_FIELD,)
+ALL_FIELDS = ALL_FLOAT_FIELDS + INT_FIELDS + MASK_FIELDS
+
+
+@dataclass
+class Domain:
+    nx: int                      # elements per side on this rank
+    pr: int                      # ranks per side of the rank cube
+    rank: int
+    params: LuleshParams
+    arrays: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def nelem(self) -> int:
+        return self.nx ** 3
+
+    @property
+    def nnode_side(self) -> int:
+        return self.nx + 1
+
+    @property
+    def nnode(self) -> int:
+        return self.nnode_side ** 3
+
+    @property
+    def coords(self) -> tuple[int, int, int]:
+        r = self.rank
+        return (r % self.pr, (r // self.pr) % self.pr,
+                r // (self.pr * self.pr))
+
+    @property
+    def h(self) -> float:
+        return DOMAIN_EDGE / (self.pr * self.nx)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def copy(self) -> "Domain":
+        return Domain(self.nx, self.pr, self.rank, self.params,
+                      {k: v.copy() for k, v in self.arrays.items()})
+
+    def total_energy(self) -> float:
+        return float(self["e"].sum())
+
+    def shadow_arrays(self, seed: float = 0.0) -> dict:
+        """Fresh shadow arrays for every float field."""
+        return {k: np.full_like(self.arrays[k], seed)
+                for k in ALL_FLOAT_FIELDS}
+
+
+def node_id(ix, iy, iz, ns):
+    return ix + ns * (iy + ns * iz)
+
+
+def build_domain(nx: int, pr: int = 1, rank: int = 0,
+                 params: LuleshParams = DEFAULT_PARAMS) -> Domain:
+    """Build one rank's domain of the global Sedov problem."""
+    if not (0 <= rank < pr ** 3):
+        raise ValueError(f"rank {rank} outside {pr}^3 rank cube")
+    dom = Domain(nx, pr, rank, params)
+    ns = nx + 1
+    nelem, nnode = nx ** 3, ns ** 3
+    rx, ry, rz = dom.coords
+    h = dom.h
+    g_side = pr * nx  # global elements per side
+
+    # --- coordinates (global offsets) ---------------------------------
+    ii = np.arange(ns)
+    gx = (rx * nx + ii) * h
+    gy = (ry * nx + ii) * h
+    gz = (rz * nx + ii) * h
+    arr = dom.arrays
+    xs = np.empty(nnode)
+    ys = np.empty(nnode)
+    zs = np.empty(nnode)
+    for iz in range(ns):
+        for iy in range(ns):
+            base = ns * (iy + ns * iz)
+            xs[base:base + ns] = gx
+            ys[base:base + ns] = gy[iy]
+            zs[base:base + ns] = gz[iz]
+    arr["x"], arr["y"], arr["z"] = xs, ys, zs
+
+    for f in ("xd", "yd", "zd", "fx", "fy", "fz"):
+        arr[f] = np.zeros(nnode)
+
+    # --- connectivity ---------------------------------------------------
+    nodelist = np.empty(8 * nelem, dtype=np.int64)
+    eidx = 0
+    for iz in range(nx):
+        for iy in range(nx):
+            for ix in range(nx):
+                for k, (dx, dy, dz) in enumerate(HEX_CORNERS):
+                    nodelist[8 * eidx + k] = node_id(ix + dx, iy + dy,
+                                                     iz + dz, ns)
+                eidx += 1
+    arr["nodelist"] = nodelist
+
+    # ELL-padded node -> corner-slot map; pad points at slot 8*nelem,
+    # which every force kernel keeps zeroed.
+    corner_ell = np.full(8 * nnode, 8 * nelem, dtype=np.int64)
+    fill = np.zeros(nnode, dtype=np.int64)
+    for slot in range(8 * nelem):
+        n = nodelist[slot]
+        corner_ell[8 * n + fill[n]] = slot
+        fill[n] += 1
+    assert fill.max() <= 8
+    arr["corner_ell"] = corner_ell
+
+    # element neighbours (self at domain borders, as in LULESH rank 0)
+    def elem_id(ix, iy, iz):
+        return ix + nx * (iy + nx * iz)
+
+    lxim = np.empty(nelem, dtype=np.int64)
+    lxip = np.empty(nelem, dtype=np.int64)
+    letam = np.empty(nelem, dtype=np.int64)
+    letap = np.empty(nelem, dtype=np.int64)
+    lzetam = np.empty(nelem, dtype=np.int64)
+    lzetap = np.empty(nelem, dtype=np.int64)
+    for iz in range(nx):
+        for iy in range(nx):
+            for ix in range(nx):
+                e = elem_id(ix, iy, iz)
+                lxim[e] = elem_id(max(ix - 1, 0), iy, iz)
+                lxip[e] = elem_id(min(ix + 1, nx - 1), iy, iz)
+                letam[e] = elem_id(ix, max(iy - 1, 0), iz)
+                letap[e] = elem_id(ix, min(iy + 1, nx - 1), iz)
+                lzetam[e] = elem_id(ix, iy, max(iz - 1, 0))
+                lzetap[e] = elem_id(ix, iy, min(iz + 1, nx - 1))
+    arr["lxim"], arr["lxip"] = lxim, lxip
+    arr["letam"], arr["letap"] = letam, letap
+    arr["lzetam"], arr["lzetap"] = lzetam, lzetap
+
+    # --- element state ---------------------------------------------------
+    volo = np.full(nelem, h ** 3)
+    arr["volo"] = volo
+    arr["elem_mass"] = volo.copy()            # rho0 = 1
+    arr["v"] = np.ones(nelem)
+    arr["e"] = np.zeros(nelem)
+    arr["q"] = np.zeros(nelem)
+    arr["ss"] = np.zeros(nelem)
+    arr["vdov"] = np.zeros(nelem)
+    arr["delv"] = np.zeros(nelem)
+    arr["arealg"] = np.full(nelem, h)
+
+    # Sedov energy deposition in the global origin element.
+    p = params
+    if rank == 0:
+        e0 = p.initial_energy
+        if p.scale_energy_by_size:
+            e0 = e0 * (h ** 3) / (DOMAIN_EDGE ** 3)
+        arr["e"][0] = e0
+    # Initial pressure consistent with the EOS.
+    arr["p"] = np.maximum((p.gamma - 1.0) * arr["e"] / arr["v"], p.p_min)
+
+    # --- nodal mass (global closed form on the uniform grid) ------------
+    def adjacency(i_global, g_side_nodes):
+        if i_global == 0 or i_global == g_side_nodes - 1:
+            return 1
+        return 2
+
+    gsn = g_side + 1
+    nodal_mass = np.empty(nnode)
+    for iz in range(ns):
+        for iy in range(ns):
+            for ix in range(ns):
+                gx_, gy_, gz_ = rx * nx + ix, ry * nx + iy, rz * nx + iz
+                cnt = (adjacency(gx_, gsn) * adjacency(gy_, gsn)
+                       * adjacency(gz_, gsn))
+                nodal_mass[node_id(ix, iy, iz, ns)] = (h ** 3) * cnt / 8.0
+    arr["nodal_mass"] = nodal_mass
+
+    # --- symmetry boundary multipliers (global faces at 0) --------------
+    def mask_for(axis_idx: int, rank_coord: int) -> np.ndarray:
+        m = np.ones(nnode)
+        if rank_coord == 0:
+            for iz in range(ns):
+                for iy in range(ns):
+                    for ix in range(ns):
+                        local = (ix, iy, iz)[axis_idx]
+                        if local == 0:
+                            m[node_id(ix, iy, iz, ns)] = 0.0
+        return m
+
+    arr["symm_x"] = mask_for(0, rx)
+    arr["symm_y"] = mask_for(1, ry)
+    arr["symm_z"] = mask_for(2, rz)
+
+    # --- time state ------------------------------------------------------
+    arr[TIME_FIELD] = np.array([0.0, p.dt_initial, 1e20, 1e20])
+
+    return dom
+
+
+def gather_global(domains: list[Domain]) -> Domain:
+    """Assemble rank domains into the equivalent single global domain
+    (for decomposition-invariance checks)."""
+    pr = domains[0].pr
+    nx = domains[0].nx
+    g = build_domain(nx * pr, 1, 0, domains[0].params)
+    ns_g = g.nnode_side
+    for dom in domains:
+        rx, ry, rz = dom.coords
+        ns = dom.nnode_side
+        for field_ in NODAL_FIELDS:
+            src = dom[field_]
+            dst = g[field_]
+            for iz in range(ns):
+                for iy in range(ns):
+                    row = src[node_id(0, iy, iz, ns):
+                              node_id(0, iy, iz, ns) + ns]
+                    gbase = node_id(rx * nx, ry * nx + iy, rz * nx + iz,
+                                    ns_g)
+                    dst[gbase:gbase + ns] = row
+        for field_ in ELEM_FIELDS:
+            src = dom[field_]
+            dst = g[field_]
+            for iz in range(nx):
+                for iy in range(nx):
+                    row = src[nx * (iy + nx * iz): nx * (iy + nx * iz) + nx]
+                    gbase = (rx * nx + (ry * nx + iy) * (nx * pr)
+                             + (rz * nx + iz) * (nx * pr) ** 2)
+                    dst[gbase:gbase + nx] = row
+    return g

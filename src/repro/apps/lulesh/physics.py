@@ -1,0 +1,96 @@
+"""Physical constants and model parameters of the LULESH proxy.
+
+The proxy solves the same Sedov-blast setup as LULESH 2.0 [18], [54]:
+an unstructured explicit shock-hydrodynamics Lagrange leapfrog over a
+hexahedral mesh, with a single ideal-gas-like material.  Relative to
+the 5000-line original we reproduce the *structure* that matters to
+the paper's evaluation — kernel sequence, indirection-based data
+movement (nodelist gathers, corner-list scatters, element-neighbour
+lookups), min-reduction time constraints, and face-ordered MPI ghost
+exchange — with these documented simplifications:
+
+* stress is isotropic (-(p+q)); nodal forces come from the consistent
+  face-normal discretization (SumElemFaceNormal / SumElemStresses-
+  ToNodeForces in the original), and element volume uses the matching
+  divergence-theorem form V = (1/3) Σ_faces c_f · A_f;
+* the four-mode hourglass control is replaced by a viscous drag toward
+  the element-mean velocity (same gather/scatter pattern, one mode);
+* the artificial viscosity uses the qlc/qqc form; the neighbour-based
+  monotonic limiter through the lxim/.../lzetap indirection arrays is
+  available via ``use_monoq_limiter`` on single-rank runs (the MPI
+  variants keep the element-local form in lieu of the original's
+  CommMonoQ ghost-element exchange);
+* the EOS keeps the predictor/corrector energy update and the pressure
+  / energy / volume cutoffs, dropping the vacuum special cases.
+
+All constants below have the same names/roles as in LULESH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LuleshParams:
+    # Material / EOS
+    gamma: float = 1.4                # ideal-gas exponent (proxy)
+    e_min: float = -1.0e15
+    p_min: float = 0.0
+    pressure_floor: float = 1.0e-12
+    ss_floor: float = 1.0e-9
+
+    # Artificial viscosity
+    qlc: float = 0.5                  # linear coefficient (qlc_monoq)
+    qqc: float = 2.0                  # quadratic coefficient (qqc_monoq)
+    monoq_limiter: float = 2.0
+    monoq_max_slope: float = 1.0
+    #: Use the neighbour-based monotonic limiter (through the
+    #: lxim/.../lzetap indirection arrays, as the original's monotonic
+    #: q does).  Available on single-rank runs; the MPI variants keep
+    #: the element-local form so decomposed runs match the global one
+    #: without the original's CommMonoQ ghost-element exchange.
+    use_monoq_limiter: bool = False
+
+    # Hourglass-like damping
+    hgcoef: float = 0.03
+
+    # Integration cutoffs
+    u_cut: float = 1.0e-7             # velocity snap-to-zero
+    v_cut: float = 1.0e-10            # relative-volume snap-to-one
+    q_stop: float = 1.0e12
+
+    # Time stepping
+    dt_initial: float = 1.0e-7        # matches LULESH -s scaling order
+    dt_mult_lb: float = 1.1
+    dt_mult_ub: float = 1.2
+    dt_max: float = 1.0e-2
+    cfl_courant: float = 0.5          # qqc2-style factors folded in
+    cfl_hydro: float = 0.999
+    dvov_min: float = 1.0e-20
+
+    # Sedov initial condition
+    initial_energy: float = 3.948746e+7
+    scale_energy_by_size: bool = True
+
+
+DEFAULT_PARAMS = LuleshParams()
+
+#: Hexahedron corner offsets in LULESH node ordering (x, y, z).
+HEX_CORNERS = (
+    (0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0),
+    (0, 0, 1), (1, 0, 1), (1, 1, 1), (0, 1, 1),
+)
+
+#: Outward-oriented quad faces of the hexahedron (local corner ids).
+HEX_FACES = (
+    (0, 3, 2, 1),   # z- (bottom)
+    (4, 5, 6, 7),   # z+ (top)
+    (0, 1, 5, 4),   # y- (front)
+    (2, 3, 7, 6),   # y+ (back)
+    (1, 2, 6, 5),   # x+ (right)
+    (3, 0, 4, 7),   # x- (left)
+)
+
+#: Simulated-time state slot layout (time, dt, dtcourant, dthydro).
+TIME_SLOTS = 4

@@ -1,0 +1,296 @@
+"""Plain-NumPy reference implementation of the LULESH proxy physics.
+
+Serves as ground truth for every IR variant: the formulas, clamp
+order, and reduction semantics here are mirrored *operation for
+operation* by :mod:`repro.apps.lulesh.kernels`, so a single-rank IR run
+must match this to machine precision, and decomposed runs must match
+after ghost-force summation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import Domain
+from .physics import HEX_CORNERS, HEX_FACES, LuleshParams
+
+
+def _corner_coords(dom: Domain, field: str) -> np.ndarray:
+    """(nelem, 8) array of a nodal field gathered at element corners."""
+    nodelist = dom["nodelist"].reshape(-1, 8)
+    return dom[field][nodelist]
+
+
+def _face_geometry(cx, cy, cz):
+    """Outward area vectors and centroids of the six hex faces.
+
+    Input: (nelem, 8) corner coordinates.  Returns two (nelem, 6, 3)
+    arrays: area vectors (0.5 · d1 × d2 over the diagonals) and
+    centroids.
+    """
+    nelem = cx.shape[0]
+    A = np.empty((nelem, 6, 3))
+    C = np.empty((nelem, 6, 3))
+    for f, (a, b, c, d) in enumerate(HEX_FACES):
+        d1x = cx[:, c] - cx[:, a]
+        d1y = cy[:, c] - cy[:, a]
+        d1z = cz[:, c] - cz[:, a]
+        d2x = cx[:, d] - cx[:, b]
+        d2y = cy[:, d] - cy[:, b]
+        d2z = cz[:, d] - cz[:, b]
+        A[:, f, 0] = 0.5 * (d1y * d2z - d1z * d2y)
+        A[:, f, 1] = 0.5 * (d1z * d2x - d1x * d2z)
+        A[:, f, 2] = 0.5 * (d1x * d2y - d1y * d2x)
+        C[:, f, 0] = 0.25 * (cx[:, a] + cx[:, b] + cx[:, c] + cx[:, d])
+        C[:, f, 1] = 0.25 * (cy[:, a] + cy[:, b] + cy[:, c] + cy[:, d])
+        C[:, f, 2] = 0.25 * (cz[:, a] + cz[:, b] + cz[:, c] + cz[:, d])
+    return A, C
+
+
+def elem_volume(cx, cy, cz) -> np.ndarray:
+    """Divergence-theorem hexahedron volume: V = (1/3) Σ_f c_f · A_f.
+
+    Accumulated face by face in a fixed order so the IR emission can
+    reproduce the same rounding.
+    """
+    A, C = _face_geometry(cx, cy, cz)
+    return _volume_from_faces(A, C)
+
+
+def _volume_from_faces(A, C) -> np.ndarray:
+    vol = np.zeros(A.shape[0])
+    for f in range(6):
+        vol = vol + (C[:, f, 0] * A[:, f, 0] + C[:, f, 1] * A[:, f, 1]
+                     + C[:, f, 2] * A[:, f, 2])
+    return vol / 3.0
+
+
+def calc_time_constraints(dom: Domain) -> tuple[float, float]:
+    p = dom.params
+    ssc = np.maximum(dom["ss"], p.ss_floor)
+    dtcourant = float(np.min(dom["arealg"] / ssc)) * p.cfl_courant
+    dthydro = float(np.min(p.cfl_hydro /
+                           (np.abs(dom["vdov"]) + p.dvov_min)))
+    return dtcourant, dthydro
+
+
+def compute_dt_candidate(dom: Domain, step: int) -> float:
+    """This rank's local new-dt candidate (pre-allreduce)."""
+    p = dom.params
+    ts = dom["timestate"]
+    if step == 0:
+        return p.dt_initial
+    dtcourant, dthydro = calc_time_constraints(dom)
+    ts[2], ts[3] = dtcourant, dthydro
+    return min(dtcourant, dthydro, ts[1] * p.dt_mult_ub, p.dt_max)
+
+
+def calc_force_for_nodes(dom: Domain) -> None:
+    p = dom.params
+    nelem = dom.nelem
+    cx = _corner_coords(dom, "x")
+    cy = _corner_coords(dom, "y")
+    cz = _corner_coords(dom, "z")
+    A, _C = _face_geometry(cx, cy, cz)
+    sig = dom["p"] + dom["q"]          # isotropic stress magnitude
+
+    corner_f = np.zeros((nelem, 8, 3))
+    for f, face in enumerate(HEX_FACES):
+        for k in face:
+            corner_f[:, k, 0] += sig * A[:, f, 0] * 0.25
+            corner_f[:, k, 1] += sig * A[:, f, 1] * 0.25
+            corner_f[:, k, 2] += sig * A[:, f, 2] * 0.25
+
+    # Hourglass-like viscous damping toward the element-mean velocity.
+    vx = _corner_coords(dom, "xd")
+    vy = _corner_coords(dom, "yd")
+    vz = _corner_coords(dom, "zd")
+    rate = p.hgcoef * dom["elem_mass"] * np.maximum(dom["ss"], p.ss_floor) \
+        / (dom["arealg"] + p.ss_floor)
+    for comp, vel in ((0, vx), (1, vy), (2, vz)):
+        s = vel[:, 0]
+        for k in range(1, 8):
+            s = s + vel[:, k]
+        mean = s * 0.125
+        corner_f[:, :, comp] -= rate[:, None] * (vel - mean[:, None])
+
+    # Scatter corner forces to nodes through the padded corner map
+    # (sequential 8-way accumulation, matching the IR emission order).
+    ell = dom["corner_ell"].reshape(-1, 8)
+    for comp, field in ((0, "fx"), (1, "fy"), (2, "fz")):
+        flat = np.concatenate([corner_f[:, :, comp].ravel(), [0.0]])
+        gathered = flat[ell]
+        s = gathered[:, 0]
+        for k in range(1, 8):
+            s = s + gathered[:, k]
+        dom[field][:] = s
+
+
+def exchange_forces(domains: list[Domain]) -> None:
+    """Dimension-ordered summation of duplicated-plane nodal forces
+    (the CommSBN step).  Operates on all ranks at once — the reference
+    has no network."""
+    if len(domains) == 1:
+        return
+    pr = domains[0].pr
+    nx = domains[0].nx
+    ns = nx + 1
+
+    def rank_of(rx, ry, rz):
+        return rx + pr * (ry + pr * rz)
+
+    from .mesh import node_id
+    for axis in range(3):
+        for rz in range(pr):
+            for ry in range(pr):
+                for rx in range(pr):
+                    coords = [rx, ry, rz]
+                    if coords[axis] == pr - 1:
+                        continue
+                    lo = domains[rank_of(rx, ry, rz)]
+                    hi_c = list(coords)
+                    hi_c[axis] += 1
+                    hi = domains[rank_of(*hi_c)]
+                    for field in ("fx", "fy", "fz"):
+                        lo_plane, hi_plane = _plane_ids(axis, ns)
+                        s = lo[field][lo_plane] + hi[field][hi_plane]
+                        lo[field][lo_plane] = s
+                        hi[field][hi_plane] = s
+
+
+_plane_cache: dict = {}
+
+
+def _plane_ids(axis: int, ns: int):
+    key = (axis, ns)
+    if key in _plane_cache:
+        return _plane_cache[key]
+    from .mesh import node_id
+    lo = np.empty(ns * ns, dtype=np.int64)
+    hi = np.empty(ns * ns, dtype=np.int64)
+    k = 0
+    for b in range(ns):
+        for a in range(ns):
+            if axis == 0:
+                lo[k] = node_id(ns - 1, a, b, ns)
+                hi[k] = node_id(0, a, b, ns)
+            elif axis == 1:
+                lo[k] = node_id(a, ns - 1, b, ns)
+                hi[k] = node_id(a, 0, b, ns)
+            else:
+                lo[k] = node_id(a, b, ns - 1, ns)
+                hi[k] = node_id(a, b, 0, ns)
+            k += 1
+    _plane_cache[key] = (lo, hi)
+    return lo, hi
+
+
+def integrate_nodes(dom: Domain, dt: float) -> None:
+    p = dom.params
+    for fcomp, vcomp, ccomp, mask in (
+            ("fx", "xd", "x", "symm_x"),
+            ("fy", "yd", "y", "symm_y"),
+            ("fz", "zd", "z", "symm_z")):
+        acc = dom[fcomp] / dom["nodal_mass"]
+        acc = acc * dom[mask]
+        vnew = dom[vcomp] + acc * dt
+        vnew = np.where(np.abs(vnew) < p.u_cut, 0.0, vnew)
+        dom[vcomp][:] = vnew
+        dom[ccomp][:] = dom[ccomp] + vnew * dt
+
+
+def calc_lagrange_elements(dom: Domain) -> None:
+    cx = _corner_coords(dom, "x")
+    cy = _corner_coords(dom, "y")
+    cz = _corner_coords(dom, "z")
+    A, C = _face_geometry(cx, cy, cz)
+    vol = _volume_from_faces(A, C)
+    vnew = vol / dom["volo"]
+    dom["delv"][:] = vnew - dom["v"]
+    dom["arealg"][:] = np.cbrt(vol)
+
+    vx = _corner_coords(dom, "xd")
+    vy = _corner_coords(dom, "yd")
+    vz = _corner_coords(dom, "zd")
+    dvdt = np.zeros(dom.nelem)
+    for f, (a, b, c, d) in enumerate(HEX_FACES):
+        fvx = 0.25 * (vx[:, a] + vx[:, b] + vx[:, c] + vx[:, d])
+        fvy = 0.25 * (vy[:, a] + vy[:, b] + vy[:, c] + vy[:, d])
+        fvz = 0.25 * (vz[:, a] + vz[:, b] + vz[:, c] + vz[:, d])
+        dvdt += fvx * A[:, f, 0] + fvy * A[:, f, 1] + fvz * A[:, f, 2]
+    dom["vdov"][:] = dvdt / vol
+    dom.arrays["_vnew"] = vnew
+    dom.arrays["_vol"] = vol
+
+
+def calc_q_for_elems(dom: Domain) -> None:
+    p = dom.params
+    vnew = dom.arrays["_vnew"]
+    rho = dom["elem_mass"] / (dom["volo"] * vnew)
+    dvov = dom["vdov"]
+    l = dom["arealg"]
+    ssc = np.maximum(dom["ss"], p.ss_floor)
+    qq = rho * l * np.abs(dvov) * (p.qlc * ssc + p.qqc * l * np.abs(dvov))
+    q = np.where(dvov < 0.0, qq, 0.0)
+    if p.use_monoq_limiter:
+        # Monotonic limiter: scale q by a smoothness factor phi built
+        # from neighbour compression ratios through the lxim/.../lzetap
+        # indirection (the unstructured data movement of the original's
+        # CalcMonotonicQ).
+        phi = np.zeros(dom.nelem)
+        safe = np.where(np.abs(dvov) > p.dvov_min, dvov, p.dvov_min)
+        for lo_n, hi_n in (("lxim", "lxip"), ("letam", "letap"),
+                           ("lzetam", "lzetap")):
+            r_lo = dvov[dom[lo_n]] / safe
+            r_hi = dvov[dom[hi_n]] / safe
+            axis_phi = 0.5 * (r_lo + r_hi)
+            axis_phi = np.minimum(axis_phi, np.minimum(
+                p.monoq_limiter * r_lo, p.monoq_limiter * r_hi))
+            axis_phi = np.minimum(axis_phi, p.monoq_max_slope)
+            axis_phi = np.maximum(axis_phi, 0.0)
+            phi = phi + axis_phi
+        phi = phi * (1.0 / 3.0)
+        q = q * np.maximum(1.0 - phi, 0.0)
+    dom["q"][:] = np.minimum(q, p.q_stop)
+
+
+def eval_eos(dom: Domain) -> None:
+    p = dom.params
+    vnew = dom.arrays["_vnew"]
+    e_old, p_old, q_new = dom["e"], dom["p"], dom["q"]
+    delv = dom["delv"]
+
+    e_half = np.maximum(e_old - 0.5 * delv * (p_old + q_new), p.e_min)
+    p_half = np.maximum((p.gamma - 1.0) * e_half / vnew, p.p_min)
+    e_new = e_old - 0.5 * delv * (p_old + p_half + 2.0 * q_new)
+    e_new = np.maximum(e_new, p.e_min)
+    e_new = np.where(np.abs(e_new) < p.pressure_floor, 0.0, e_new)
+    p_new = np.maximum((p.gamma - 1.0) * e_new / vnew, p.p_min)
+    p_new = np.where(np.abs(p_new) < p.pressure_floor, 0.0, p_new)
+    ss = np.sqrt(np.maximum(p.gamma * p_new * vnew, p.ss_floor ** 2))
+
+    dom["e"][:] = e_new
+    dom["p"][:] = p_new
+    dom["ss"][:] = ss
+    v = np.where(np.abs(vnew - 1.0) < p.v_cut, 1.0, vnew)
+    dom["v"][:] = v
+
+
+def lagrange_leapfrog(domains: list[Domain] | Domain, steps: int) -> None:
+    """Run ``steps`` timesteps (all ranks lock-step, like the IR+SimMPI
+    run).  Accepts one domain or the full rank list."""
+    if isinstance(domains, Domain):
+        domains = [domains]
+    for s in range(steps):
+        dt = min(compute_dt_candidate(dom, s) for dom in domains)
+        for dom in domains:              # the allreduce-min commit
+            dom["timestate"][1] = dt
+            dom["timestate"][0] += dt
+        for dom in domains:
+            calc_force_for_nodes(dom)
+        exchange_forces(domains)
+        for dom in domains:
+            integrate_nodes(dom, dt)
+            calc_lagrange_elements(dom)
+            calc_q_for_elems(dom)
+            eval_eos(dom)

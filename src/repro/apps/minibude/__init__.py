@@ -1,0 +1,16 @@
+"""repro.apps.minibude — the miniBUDE molecular-docking proxy.
+
+Variants: ``serial``, ``openmp`` (C++-style kmpc closures), ``julia``
+(chunked task parallelism with GC array indirection) — the paper's
+second application (§VII), used to validate the LULESH performance
+claims on a compute-bound kernel and to exercise Julia shared-memory
+parallelism.
+"""
+
+from .deck import Deck, make_deck
+from .driver import MinibudeApp
+from .kernels import ARG_NAMES, VARIANTS, build_minibude
+from .reference import pose_energy, run_reference
+
+__all__ = ["Deck", "make_deck", "MinibudeApp", "ARG_NAMES", "VARIANTS",
+           "build_minibude", "pose_energy", "run_reference"]

@@ -1,0 +1,85 @@
+"""Synthetic molecular-docking deck for the miniBUDE proxy.
+
+miniBUDE ships the ``bm1`` deck (a real protein/ligand pair); that data
+is not redistributable here, so we generate a synthetic deck with the
+same *shape*: protein atoms and ligand atoms with radii/charges/
+hydrophobicity parameters, and a set of candidate poses (three Euler
+angles + translation each).  The kernel is compute-bound over
+poses × protein × ligand exactly like the original (§VII: "hundreds of
+thousands of pose-evaluations"; scaled down for the interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Deck:
+    protein_pos: np.ndarray    # (N, 3)
+    protein_radius: np.ndarray
+    protein_charge: np.ndarray
+    protein_hphb: np.ndarray
+    ligand_pos: np.ndarray     # (M, 3)
+    ligand_radius: np.ndarray
+    ligand_charge: np.ndarray
+    ligand_hphb: np.ndarray
+    poses: np.ndarray          # (P, 6): 3 Euler angles + translation
+
+    @property
+    def nprotein(self) -> int:
+        return len(self.protein_radius)
+
+    @property
+    def nligand(self) -> int:
+        return len(self.ligand_radius)
+
+    @property
+    def nposes(self) -> int:
+        return self.poses.shape[0]
+
+    def flat_args(self) -> dict:
+        """1-D arrays in the kernel's layout (xyz interleaved)."""
+        return {
+            "protein_xyz": self.protein_pos.ravel().copy(),
+            "protein_radius": self.protein_radius.copy(),
+            "protein_charge": self.protein_charge.copy(),
+            "protein_hphb": self.protein_hphb.copy(),
+            "ligand_xyz": self.ligand_pos.ravel().copy(),
+            "ligand_radius": self.ligand_radius.copy(),
+            "ligand_charge": self.ligand_charge.copy(),
+            "ligand_hphb": self.ligand_hphb.copy(),
+            "poses": self.poses.ravel().copy(),
+            "energies": np.zeros(self.nposes),
+        }
+
+
+# Kernel constants (miniBUDE-flavoured).
+HARDNESS = 38.0
+ELEC_SCALE = 45.0
+ELEC_CUTOFF = 8.0
+DESOLV_SIGMA = 3.5
+DESOLV_SCALE = 0.8
+
+
+def make_deck(nprotein: int = 24, nligand: int = 8, nposes: int = 64,
+              seed: int = 42) -> Deck:
+    rng = np.random.default_rng(seed)
+    protein_pos = rng.uniform(-6.0, 6.0, size=(nprotein, 3))
+    ligand_pos = rng.uniform(-1.5, 1.5, size=(nligand, 3))
+    poses = np.empty((nposes, 6))
+    poses[:, :3] = rng.uniform(-np.pi, np.pi, size=(nposes, 3))
+    poses[:, 3:] = rng.uniform(-2.0, 2.0, size=(nposes, 3))
+    return Deck(
+        protein_pos=protein_pos,
+        protein_radius=rng.uniform(1.2, 2.2, size=nprotein),
+        protein_charge=rng.uniform(-0.5, 0.5, size=nprotein),
+        protein_hphb=rng.uniform(0.0, 1.0, size=nprotein),
+        ligand_pos=ligand_pos,
+        ligand_radius=rng.uniform(1.0, 1.8, size=nligand),
+        ligand_charge=rng.uniform(-0.4, 0.4, size=nligand),
+        ligand_hphb=rng.uniform(0.0, 1.0, size=nligand),
+        poses=poses,
+    )

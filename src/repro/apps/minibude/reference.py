@@ -1,0 +1,54 @@
+"""NumPy reference for the miniBUDE proxy energy kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .deck import (
+    DESOLV_SCALE,
+    DESOLV_SIGMA,
+    ELEC_CUTOFF,
+    ELEC_SCALE,
+    HARDNESS,
+    Deck,
+)
+
+
+def rotation(ang: np.ndarray) -> np.ndarray:
+    """Z·Y·X Euler rotation, matching the IR emission order."""
+    sx, cx = np.sin(ang[0]), np.cos(ang[0])
+    sy, cy = np.sin(ang[1]), np.cos(ang[1])
+    sz, cz = np.sin(ang[2]), np.cos(ang[2])
+    rx = np.array([[1, 0, 0], [0, cx, -sx], [0, sx, cx]])
+    ry = np.array([[cy, 0, sy], [0, 1, 0], [-sy, 0, cy]])
+    rz = np.array([[cz, -sz, 0], [sz, cz, 0], [0, 0, 1]])
+    return rz @ ry @ rx
+
+
+def pose_energy(deck: Deck, pose: np.ndarray) -> float:
+    R = rotation(pose[:3])
+    t = pose[3:]
+    etot = 0.0
+    for l in range(deck.nligand):
+        lp = R @ deck.ligand_pos[l] + t
+        for p in range(deck.nprotein):
+            dx = lp - deck.protein_pos[p]
+            d = np.sqrt(dx @ dx + 1e-12)
+            distbb = d - (deck.protein_radius[p] + deck.ligand_radius[l])
+            # steric clash (only when overlapping)
+            steric = np.where(distbb < 0.0, -distbb * 2.0 * HARDNESS, 0.0)
+            # electrostatics with linear distance cutoff
+            chrg = deck.protein_charge[p] * deck.ligand_charge[l]
+            scale = np.maximum(1.0 - d / ELEC_CUTOFF, 0.0)
+            elect = chrg * ELEC_SCALE * scale
+            # desolvation (hydrophobic burial)
+            dslv = (DESOLV_SCALE * deck.protein_hphb[p]
+                    * deck.ligand_hphb[l]
+                    * np.exp(-(d * d) / (DESOLV_SIGMA * DESOLV_SIGMA)))
+            etot += steric + elect - dslv
+    return 0.5 * etot
+
+
+def run_reference(deck: Deck) -> np.ndarray:
+    return np.array([pose_energy(deck, deck.poses[i])
+                     for i in range(deck.nposes)])

@@ -1,0 +1,22 @@
+"""repro.baselines — comparison & verification baselines.
+
+* :mod:`repro.baselines.codipack` — CoDiPack-model operator-overloading
+  Jacobian tape with an adjoint-MPI extension (the paper's performance
+  baseline, §VII-A-d).
+* :mod:`repro.baselines.finite_diff` — the §VII finite-difference
+  projection check used to verify every gradient in the evaluation.
+"""
+
+from .codipack import (
+    CoDiPackTape,
+    TapeError,
+    codipack_gradient,
+    codipack_mpi_gradient,
+)
+from .finite_diff import check_gradient, fd_projection, reverse_projection
+
+__all__ = [
+    "CoDiPackTape", "TapeError", "codipack_gradient",
+    "codipack_mpi_gradient",
+    "check_gradient", "fd_projection", "reverse_projection",
+]

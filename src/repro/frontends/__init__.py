@@ -1,0 +1,21 @@
+"""repro.frontends — language/framework veneers over the IR.
+
+Each frontend emits the IR its real-world compiler would produce, so
+the AD engine only ever sees lowered constructs (the paper's §V-D
+argument that one low-level implementation covers many frameworks):
+
+* :class:`~repro.frontends.openmp.OpenMP` — closure-record outlining,
+  worksharing loops, firstprivate, manual reductions;
+* :class:`~repro.frontends.raja.RAJA` — forall / ReduceMin lowering
+  onto the OpenMP substrate (zero AD-specific code);
+* :class:`~repro.frontends.julia.Julia` — GC array descriptors with
+  opaque data-pointer extraction, gc_preserve, chunked task
+  parallelism, and MPI.jl wrappers resolved via a symbol table.
+"""
+
+from .julia import Julia, JuliaArray, MPI_SYMBOLS
+from .openmp import OpenMP
+from .raja import RAJA, ReduceMin
+
+__all__ = ["Julia", "JuliaArray", "MPI_SYMBOLS", "OpenMP", "RAJA",
+           "ReduceMin"]

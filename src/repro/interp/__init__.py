@@ -1,0 +1,28 @@
+"""repro.interp — execution engine for the repro IR.
+
+Executes IR with real numerics (scalar or vectorized over parallel-loop
+chunks), accounts abstract instruction costs, and yields cooperative
+events for MPI and thread barriers so the simulated runtimes in
+:mod:`repro.parallel` can coordinate ranks and threads.
+"""
+
+from .events import BarrierEvent, Event, MPIEvent
+from .executor import Executor, run_function
+from .interpreter import ExecConfig, Interpreter, TaskScheduler, chunk_bounds
+from .memory import (
+    Buffer,
+    DynCache,
+    InterpreterError,
+    Memory,
+    PtrVal,
+    TaskVal,
+    TokenVal,
+)
+
+__all__ = [
+    "BarrierEvent", "Event", "MPIEvent",
+    "Executor", "run_function",
+    "ExecConfig", "Interpreter", "TaskScheduler", "chunk_bounds",
+    "Buffer", "DynCache", "InterpreterError", "Memory", "PtrVal",
+    "TaskVal", "TokenVal",
+]

@@ -1,0 +1,51 @@
+"""Events yielded by interpreter generators.
+
+The interpreter executes a function as a generator.  Serial code never
+yields; cooperative scheduling points (MPI communication, thread
+barriers) surface as events so an external engine — the fork driver or
+the SimMPI engine — can coordinate multiple executions and advance
+simulated clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Event:
+    __slots__ = ()
+
+
+class BarrierEvent(Event):
+    """A thread reached a barrier inside a fork region."""
+    __slots__ = ()
+
+
+class MPIEvent(Event):
+    """An MPI runtime call that must be serviced by the SimMPI engine.
+
+    ``kind`` is one of: "send", "recv", "isend", "irecv", "wait",
+    "allreduce", "reduce", "bcast", "barrier".
+    The payload attributes depend on the kind; the engine replies with a
+    value via ``generator.send(reply)``.
+    """
+
+    __slots__ = ("kind", "buf", "count", "peer", "tag", "op", "root",
+                 "recvbuf", "request")
+
+    def __init__(self, kind: str, buf=None, count: int = 0, peer: int = -1,
+                 tag: int = 0, op: str = "sum", root: int = 0,
+                 recvbuf=None, request=None) -> None:
+        self.kind = kind
+        self.buf = buf
+        self.count = count
+        self.peer = peer
+        self.tag = tag
+        self.op = op
+        self.root = root
+        self.recvbuf = recvbuf
+        self.request = request
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MPIEvent {self.kind} peer={self.peer} tag={self.tag} "
+                f"count={self.count}>")

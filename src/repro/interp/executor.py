@@ -1,0 +1,97 @@
+"""High-level execution helper.
+
+Wraps NumPy arrays / Python scalars into interpreter runtime values
+according to the target function's signature, runs the function, and
+exposes the simulated clock and cost counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..ir.function import Module
+from ..ir.types import F64, I1, I64, PointerType
+from .interpreter import ExecConfig, Interpreter
+from .memory import InterpreterError, PtrVal
+
+
+def _np_elem_dtype(elem):
+    if elem is F64:
+        return np.float64
+    if elem is I64:
+        return np.int64
+    if elem is I1:
+        return np.bool_
+    return object
+
+
+class Executor:
+    """Run functions of a module with NumPy in/out buffers."""
+
+    def __init__(self, module: Module,
+                 config: Optional[ExecConfig] = None) -> None:
+        self.module = module
+        self.interp = Interpreter(module, config)
+
+    @property
+    def clock(self) -> float:
+        return self.interp.clock
+
+    @property
+    def cost(self):
+        return self.interp.raw_total
+
+    def reset_clock(self) -> None:
+        self.interp.clock = 0.0
+        from ..perf.cost import CostVector
+        self.interp.raw_total = CostVector()
+        self.interp.cost = CostVector()
+
+    def wrap_args(self, fn_name: str, args: tuple) -> list:
+        fn = self.module.functions[fn_name]
+        if len(args) != len(fn.args):
+            raise TypeError(
+                f"{fn_name} expects {len(fn.args)} arguments, got {len(args)}")
+        wrapped: list[Any] = []
+        for formal, actual in zip(fn.args, args):
+            t = formal.type
+            if isinstance(t, PointerType):
+                if isinstance(actual, PtrVal):
+                    wrapped.append(actual)
+                    continue
+                arr = np.asarray(actual)
+                want = _np_elem_dtype(t.elem)
+                if want is not object and arr.dtype != want:
+                    raise TypeError(
+                        f"argument {formal.name!r} of {fn_name} needs dtype "
+                        f"{np.dtype(want)}, got {arr.dtype} (pass the right "
+                        f"dtype; implicit copies would break aliasing)")
+                if arr.ndim != 1:
+                    raise TypeError(
+                        f"argument {formal.name!r}: buffers must be 1-D")
+                wrapped.append(self.interp.memory.wrap_external(
+                    arr, t.elem, name=formal.name))
+            elif t is F64:
+                wrapped.append(float(actual))
+            elif t is I64:
+                wrapped.append(int(actual))
+            elif t is I1:
+                wrapped.append(bool(actual))
+            else:
+                wrapped.append(actual)
+        return wrapped
+
+    def run(self, fn_name: str, *args) -> Any:
+        return self.interp.run(fn_name, self.wrap_args(fn_name, args))
+
+    def call_generator(self, fn_name: str, *args):
+        return self.interp.call_generator(fn_name,
+                                          self.wrap_args(fn_name, args))
+
+
+def run_function(module: Module, fn_name: str, *args,
+                 config: Optional[ExecConfig] = None) -> Any:
+    """One-shot convenience: build an Executor and run."""
+    return Executor(module, config).run(fn_name, *args)

@@ -1,0 +1,422 @@
+"""IRBuilder: the authoring DSL for repro IR.
+
+The builder keeps an insertion-point stack; structured ops are written
+with ``with`` blocks, and SSA values support Python operator overloads
+that route back through the active builder::
+
+    b = IRBuilder(module)
+    with b.function("axpy", [("a", F64), ("x", Ptr()), ("y", Ptr()),
+                             ("n", I64)]) as fn:
+        a, x, y, n = fn.args
+        with b.parallel_for(0, n) as i:
+            b.store(a * b.load(x, i) + b.load(y, i), y, i)
+        b.ret()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Sequence, Union
+
+from .function import Function, Module
+from .opinfo import OP_INFO
+from .ops import (
+    AllocOp,
+    AtomicRMWOp,
+    BarrierOp,
+    Block,
+    CacheCreateOp,
+    CachePopOp,
+    CachePushOp,
+    CallOp,
+    ComputeOp,
+    ConditionOp,
+    ForOp,
+    ForkOp,
+    FreeOp,
+    IfOp,
+    LoadOp,
+    MemcpyOp,
+    MemsetOp,
+    Op,
+    ParallelForOp,
+    PtrAddOp,
+    ReturnOp,
+    SpawnOp,
+    StoreOp,
+    WhileOp,
+)
+from .types import F64, I1, I64, Ptr, Type, Void
+from .values import (
+    Constant,
+    Value,
+    as_value,
+    pop_builder,
+    push_builder,
+)
+
+Number = Union[int, float, bool, Value]
+
+
+class IRBuilder:
+    """Builds IR into a module, one function at a time."""
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self.module = module if module is not None else Module()
+        self._blocks: list[Block] = []
+        self._fn: Optional[Function] = None
+
+    # ------------------------------------------------------------------
+    # Insertion point management
+    # ------------------------------------------------------------------
+    @property
+    def block(self) -> Block:
+        if not self._blocks:
+            raise RuntimeError("builder has no active insertion point")
+        return self._blocks[-1]
+
+    def emit(self, op: Op):
+        self.block.append(op)
+        return op.result if op.result is not None else op
+
+    @contextlib.contextmanager
+    def at(self, block: Block):
+        """Temporarily redirect emission into ``block``."""
+        self._blocks.append(block)
+        try:
+            yield block
+        finally:
+            self._blocks.pop()
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def function(self, name: str, args: Sequence[tuple[str, Type]],
+                 ret: Type = Void,
+                 arg_attrs: Optional[list[dict]] = None):
+        fn = Function(name, list(args), ret, arg_attrs)
+        self.module.add_function(fn)
+        self._fn = fn
+        self._blocks.append(fn.body)
+        push_builder(self)
+        try:
+            yield fn
+            if ret is Void and (
+                    not fn.body.ops or fn.body.ops[-1].opcode != "return"):
+                fn.body.append(ReturnOp([]))
+        finally:
+            pop_builder(self)
+            self._blocks.pop()
+            self._fn = None
+
+    def ret(self, value: Optional[Number] = None):
+        vals = [] if value is None else [self._coerce(value, self._ret_type())]
+        return self.emit(ReturnOp(vals))
+
+    def _ret_type(self) -> Type:
+        return self._fn.ret_type if self._fn is not None else F64
+
+    # ------------------------------------------------------------------
+    # Coercion helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, x: Number, want: Optional[Type] = None) -> Value:
+        v = as_value(x, want)
+        if want is not None and v.type is not want:
+            if want is F64 and v.type is I64:
+                return self.itof(v)
+            if want is I64 and v.type is F64 and isinstance(v, Constant) \
+                    and float(v.value).is_integer():
+                return Constant(int(v.value), I64)
+            raise TypeError(f"cannot coerce {v.type} to {want}")
+        return v
+
+    def _coerce_pair(self, a: Number, b: Number) -> tuple[Value, Value]:
+        av, bv = as_value(a), as_value(b)
+        if av.type is bv.type:
+            return av, bv
+        if av.type is F64 and bv.type is I64:
+            return av, self.itof(bv)
+        if av.type is I64 and bv.type is F64:
+            return self.itof(av), bv
+        raise TypeError(f"incompatible operand types {av.type} / {bv.type}")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _binop(self, fop: str, iop: str, a: Number, b: Number):
+        av, bv = self._coerce_pair(a, b)
+        opcode = fop if av.type is F64 else iop
+        return self.emit(ComputeOp(opcode, [av, bv]))
+
+    def add(self, a, b):
+        return self._binop("add", "iadd", a, b)
+
+    def sub(self, a, b):
+        return self._binop("sub", "isub", a, b)
+
+    def mul(self, a, b):
+        return self._binop("mul", "imul", a, b)
+
+    def div(self, a, b):
+        av, bv = self._coerce_pair(a, b)
+        if av.type is I64:
+            return self.emit(ComputeOp("idiv", [av, bv]))
+        return self.emit(ComputeOp("div", [av, bv]))
+
+    def idiv(self, a, b):
+        return self._binop("idiv", "idiv", a, b)
+
+    def imod(self, a, b):
+        return self._binop("imod", "imod", a, b)
+
+    def pow(self, a, b):
+        return self.emit(ComputeOp(
+            "pow", list(self._coerce_pair(self._tofloat(a), self._tofloat(b)))))
+
+    def min(self, a, b):
+        return self._binop("min", "imin", a, b)
+
+    def max(self, a, b):
+        return self._binop("max", "imax", a, b)
+
+    def fma(self, a, b, c):
+        return self.emit(ComputeOp("fma", [
+            self._coerce(a, F64), self._coerce(b, F64), self._coerce(c, F64)]))
+
+    def copysign(self, a, b):
+        return self.emit(ComputeOp(
+            "copysign", [self._coerce(a, F64), self._coerce(b, F64)]))
+
+    def _tofloat(self, x: Number) -> Value:
+        v = as_value(x)
+        return self.itof(v) if v.type is I64 else v
+
+    def _unop(self, fop: str, iop: Optional[str], x: Number):
+        v = as_value(x)
+        if v.type is I64:
+            if iop is None:
+                v = self.itof(v)
+            else:
+                return self.emit(ComputeOp(iop, [v]))
+        return self.emit(ComputeOp(fop, [v]))
+
+    def neg(self, x):
+        return self._unop("neg", "ineg", x)
+
+    def abs(self, x):
+        return self._unop("abs", None, x)
+
+    def sqrt(self, x):
+        return self._unop("sqrt", None, x)
+
+    def cbrt(self, x):
+        return self._unop("cbrt", None, x)
+
+    def sin(self, x):
+        return self._unop("sin", None, x)
+
+    def cos(self, x):
+        return self._unop("cos", None, x)
+
+    def tan(self, x):
+        return self._unop("tan", None, x)
+
+    def exp(self, x):
+        return self._unop("exp", None, x)
+
+    def log(self, x):
+        return self._unop("log", None, x)
+
+    def floor(self, x):
+        return self._unop("floor", None, x)
+
+    def itof(self, x):
+        return self.emit(ComputeOp("itof", [as_value(x)]))
+
+    def ftoi(self, x):
+        return self.emit(ComputeOp("ftoi", [as_value(x)]))
+
+    def cmp(self, pred: str, a: Number, b: Number):
+        if pred not in OP_INFO["cmp"].attrs["preds"]:
+            raise ValueError(f"unknown comparison predicate {pred!r}")
+        av, bv = self._coerce_pair(a, b)
+        return self.emit(ComputeOp("cmp", [av, bv], attrs={"pred": pred}))
+
+    def select(self, cond: Value, a: Number, b: Number):
+        av, bv = self._coerce_pair(a, b)
+        return self.emit(ComputeOp("select", [cond, av, bv]))
+
+    def logical_and(self, a: Value, b: Value):
+        return self.emit(ComputeOp("and", [a, b]))
+
+    def logical_or(self, a: Value, b: Value):
+        return self.emit(ComputeOp("or", [a, b]))
+
+    def logical_not(self, a: Value):
+        return self.emit(ComputeOp("not", [a]))
+
+    def const(self, value, type: Optional[Type] = None) -> Constant:
+        return Constant(value, type)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloc(self, count: Number, elem: Type = F64, space: str = "stack",
+              name: str = ""):
+        return self.emit(AllocOp(self._coerce(count, I64), elem, space, name))
+
+    def free(self, ptr: Value):
+        return self.emit(FreeOp(ptr))
+
+    def load(self, ptr: Value, idx: Number = 0):
+        return self.emit(LoadOp(ptr, self._coerce(idx, I64)))
+
+    def store(self, value: Number, ptr: Value, idx: Number = 0):
+        want = ptr.type.elem
+        return self.emit(StoreOp(self._coerce(value, want), ptr,
+                                 self._coerce(idx, I64)))
+
+    def atomic_add(self, value: Number, ptr: Value, idx: Number = 0):
+        return self.emit(AtomicRMWOp("add", self._coerce(value, F64), ptr,
+                                     self._coerce(idx, I64)))
+
+    def atomic_min(self, value: Number, ptr: Value, idx: Number = 0):
+        return self.emit(AtomicRMWOp("min", self._coerce(value, F64), ptr,
+                                     self._coerce(idx, I64)))
+
+    def atomic_max(self, value: Number, ptr: Value, idx: Number = 0):
+        return self.emit(AtomicRMWOp("max", self._coerce(value, F64), ptr,
+                                     self._coerce(idx, I64)))
+
+    def ptradd(self, ptr: Value, idx: Number):
+        return self.emit(PtrAddOp(ptr, self._coerce(idx, I64)))
+
+    def memset(self, ptr: Value, value: Number, count: Number):
+        return self.emit(MemsetOp(ptr, self._coerce(value, ptr.type.elem),
+                                  self._coerce(count, I64)))
+
+    def memcpy(self, dst: Value, src: Value, count: Number):
+        return self.emit(MemcpyOp(dst, src, self._coerce(count, I64)))
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(self, callee: str, *args: Number, **attrs):
+        target = self.module.lookup_callee(callee)
+        coerced: list[Value] = []
+        if isinstance(target, Function):
+            want_types = [a.type for a in target.args]
+            if len(args) != len(want_types):
+                raise TypeError(
+                    f"{callee} expects {len(want_types)} args, got {len(args)}")
+            for a, w in zip(args, want_types):
+                coerced.append(self._coerce(a, w))
+        else:
+            want_types = target.arg_types
+            if not target.variadic and len(args) != len(want_types):
+                raise TypeError(
+                    f"{callee} expects {len(want_types)} args, "
+                    f"got {len(args)}")
+            for i, a in enumerate(args):
+                want = want_types[i] if i < len(want_types) else None
+                if want is None and not target.variadic:
+                    raise TypeError(f"too many arguments to {callee}")
+                v = as_value(a)
+                if want is not None and v.type is not want:
+                    v = self._coerce(a, want)
+                coerced.append(v)
+        return self.emit(CallOp(callee, coerced, target.ret_type, attrs))
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def for_(self, lb: Number, ub: Number, step: Number = 1,
+             simd: bool = False, name: str = "i"):
+        op = ForOp(self._coerce(lb, I64), self._coerce(ub, I64),
+                   self._coerce(step, I64), simd=simd, ivar_name=name)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.ivar
+
+    @contextlib.contextmanager
+    def workshare(self, lb: Number, ub: Number, step: Number = 1,
+                  nowait: bool = False, simd: bool = True, name: str = "i"):
+        """An ``omp for`` worksharing loop; must be inside a fork region."""
+        op = ForOp(self._coerce(lb, I64), self._coerce(ub, I64),
+                   self._coerce(step, I64), workshare=True, nowait=nowait,
+                   simd=simd, ivar_name=name)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.ivar
+
+    @contextlib.contextmanager
+    def parallel_for(self, lb: Number, ub: Number, framework: str = "openmp",
+                     schedule: str = "static", name: str = "i"):
+        op = ParallelForOp(self._coerce(lb, I64), self._coerce(ub, I64),
+                           framework=framework, ivar_name=name,
+                           schedule=schedule)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.ivar
+
+    @contextlib.contextmanager
+    def fork(self, num_threads: Number = 0, framework: str = "openmp"):
+        op = ForkOp(self._coerce(num_threads, I64), framework=framework)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.tid, op.nthreads
+
+    def barrier(self):
+        return self.emit(BarrierOp())
+
+    @contextlib.contextmanager
+    def if_(self, cond: Value):
+        op = IfOp(cond)
+        self.emit(op)
+        with self.at(op.then_body):
+            yield op
+
+    @contextlib.contextmanager
+    def else_(self):
+        if not self.block.ops or self.block.ops[-1].opcode != "if":
+            raise RuntimeError("else_() must immediately follow an if_()")
+        op = self.block.ops[-1]
+        with self.at(op.else_body):
+            yield op
+
+    @contextlib.contextmanager
+    def while_(self, name: str = "it"):
+        """Do-while loop; the body must end with :meth:`loop_while`."""
+        op = WhileOp(ivar_name=name)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.ivar
+        if not op.body.ops or op.body.ops[-1].opcode != "condition":
+            raise RuntimeError("while_ body must end with loop_while(cond)")
+
+    def loop_while(self, cond: Value):
+        return self.emit(ConditionOp(cond))
+
+    @contextlib.contextmanager
+    def spawn(self, framework: str = "julia"):
+        op = SpawnOp(framework=framework)
+        self.emit(op)
+        with self.at(op.body):
+            yield op.result
+
+    def wait_task(self, task: Value):
+        return self.call("task.wait", task)
+
+    # ------------------------------------------------------------------
+    # Dynamic caches (emitted by the AD engine)
+    # ------------------------------------------------------------------
+    def cache_create(self):
+        return self.emit(CacheCreateOp())
+
+    def cache_push(self, handle: Value, value: Value):
+        return self.emit(CachePushOp(handle, value))
+
+    def cache_pop(self, handle: Value, result_type: Type):
+        return self.emit(CachePopOp(handle, result_type))

@@ -1,0 +1,120 @@
+"""Functions and modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ops import Block, Op
+from .types import Type, Void
+from .values import Argument, Value
+
+
+class Function:
+    """A function: a name, typed arguments, one body region, a return type."""
+
+    def __init__(self, name: str,
+                 args: list[tuple[str, Type]],
+                 ret_type: Type = Void,
+                 arg_attrs: Optional[list[dict]] = None) -> None:
+        self.name = name
+        self.ret_type = ret_type
+        self.args: list[Argument] = []
+        arg_attrs = arg_attrs or [{} for _ in args]
+        for i, ((aname, atype), attrs) in enumerate(zip(args, arg_attrs)):
+            self.args.append(Argument(atype, aname, i, attrs))
+        self.body = Block()
+        self.body.parent_function = self
+        #: Free-form function attributes (e.g. {"noinline": True}).
+        self.attrs: dict = {}
+
+    def arg(self, name: str) -> Argument:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise KeyError(f"function {self.name} has no argument {name!r}")
+
+    def walk(self):
+        yield from self.body.walk()
+
+    def num_ops(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __repr__(self) -> str:
+        sig = ", ".join(f"{a.name}: {a.type}" for a in self.args)
+        return f"<Function {self.name}({sig}) -> {self.ret_type}>"
+
+
+class IntrinsicInfo:
+    """Registration record for a runtime intrinsic.
+
+    ``effects`` is one of:
+      * "pure"   — no side effects, safe to CSE/hoist/rematerialize
+      * "read"   — reads memory through pointer args only
+      * "write"  — may read and write memory through pointer args
+      * "any"    — arbitrary effects (synchronization, I/O, scheduling)
+    """
+
+    def __init__(self, name: str, arg_types: list[Type],
+                 ret_type: Type = Void, effects: str = "any",
+                 variadic: bool = False, doc: str = "") -> None:
+        self.name = name
+        self.arg_types = arg_types
+        self.ret_type = ret_type
+        self.effects = effects
+        self.variadic = variadic
+        self.doc = doc
+
+
+class Module:
+    """A translation unit: functions plus the intrinsic registry."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.intrinsics: dict[str, IntrinsicInfo] = {}
+        from .intrinsics import register_default_intrinsics
+        register_default_intrinsics(self)
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"function {fn.name!r} already defined")
+        self.functions[fn.name] = fn
+        return fn
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def register_intrinsic(self, info: IntrinsicInfo) -> None:
+        self.intrinsics[info.name] = info
+
+    def lookup_callee(self, name: str):
+        """Resolve a callee name to a Function or IntrinsicInfo."""
+        if name in self.functions:
+            return self.functions[name]
+        if name in self.intrinsics:
+            return self.intrinsics[name]
+        raise KeyError(f"unknown callee {name!r}")
+
+    def callee_ret_type(self, name: str) -> Type:
+        target = self.lookup_callee(name)
+        return target.ret_type
+
+    def num_ops(self) -> int:
+        return sum(f.num_ops() for f in self.functions.values())
+
+    def clone_function(self, src_name: str, dst_name: str) -> Function:
+        """Deep-copy a function under a new name (used by AD and passes)."""
+        src = self.functions[src_name]
+        dst = Function(dst_name, [(a.name, a.type) for a in src.args],
+                       src.ret_type, [dict(a.attrs) for a in src.args])
+        dst.attrs = dict(src.attrs)
+        vmap: dict[Value, Value] = {
+            sa: da for sa, da in zip(src.args, dst.args)
+        }
+        for op in src.body.ops:
+            dst.body.append(op.clone(vmap))
+        self.add_function(dst)
+        return dst

@@ -1,0 +1,179 @@
+"""Opcode metadata tables.
+
+Each *computational* opcode (arithmetic, comparisons, casts) is described
+by an :class:`OpInfo` record holding its arity, result-type rule, NumPy
+evaluation function, and cost class for the performance model.  The
+interpreter, the verifier, and the AD engine all dispatch off these
+tables, so adding an opcode means adding one row here plus (if it is
+differentiable) one adjoint rule in :mod:`repro.ad.rules`.
+
+Memory and structured-control-flow opcodes are *not* listed here — they
+have dedicated op classes in :mod:`repro.ir.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .types import F64, I1, I64, Type, common_numeric
+
+# Cost classes understood by repro.perf.machine.MachineModel.
+COST_FLOP = "flop"          # add/sub/mul/fma/min/max/abs/neg/cmp/select
+COST_DIV = "div"            # division, sqrt
+COST_SPECIAL = "special"    # transcendental functions, pow, cbrt
+COST_INT = "int"            # integer ALU / casts / boolean logic
+COST_FREE = "free"          # no runtime cost (analysis-only)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    opcode: str
+    arity: int
+    result_type: Callable[[list[Type]], Type]
+    evaluate: Optional[Callable]
+    cost: str
+    pure: bool = True
+    commutative: bool = False
+    # fold(*const_operands) -> python value, or None to reuse `evaluate`.
+    attrs: dict = field(default_factory=dict)
+
+
+def _same_float(ts: list[Type]) -> Type:
+    for t in ts:
+        if t is not F64:
+            raise TypeError(f"expected f64 operands, got {[str(x) for x in ts]}")
+    return F64
+
+
+def _same_int(ts: list[Type]) -> Type:
+    for t in ts:
+        if t is not I64:
+            raise TypeError(f"expected i64 operands, got {[str(x) for x in ts]}")
+    return I64
+
+
+def _numeric(ts: list[Type]) -> Type:
+    return common_numeric(*ts) if len(ts) == 2 else ts[0]
+
+
+def _bool(ts: list[Type]) -> Type:
+    return I1
+
+
+def _bool_ops(ts: list[Type]) -> Type:
+    for t in ts:
+        if t is not I1:
+            raise TypeError("expected i1 operands")
+    return I1
+
+
+OP_INFO: dict[str, OpInfo] = {}
+
+
+def _register(info: OpInfo) -> None:
+    assert info.opcode not in OP_INFO, f"duplicate opcode {info.opcode}"
+    OP_INFO[info.opcode] = info
+
+
+def _binf(opcode, fn, cost=COST_FLOP, commutative=False):
+    _register(OpInfo(opcode, 2, _same_float, fn, cost, commutative=commutative))
+
+
+def _unf(opcode, fn, cost=COST_FLOP):
+    _register(OpInfo(opcode, 1, _same_float, fn, cost))
+
+
+def _bini(opcode, fn, commutative=False):
+    _register(OpInfo(opcode, 2, _same_int, fn, COST_INT, commutative=commutative))
+
+
+# --- floating point -----------------------------------------------------
+_binf("add", np.add, commutative=True)
+_binf("sub", np.subtract)
+_binf("mul", np.multiply, commutative=True)
+_binf("div", np.divide, cost=COST_DIV)
+_binf("pow", np.power, cost=COST_SPECIAL)
+_binf("min", np.minimum, commutative=True)
+_binf("max", np.maximum, commutative=True)
+_binf("copysign", np.copysign)
+_register(OpInfo("fma", 3, _same_float,
+                 lambda a, b, c: a * b + c, COST_FLOP))
+
+_unf("neg", np.negative)
+_unf("abs", np.abs)
+_unf("sqrt", np.sqrt, cost=COST_DIV)
+_unf("cbrt", np.cbrt, cost=COST_SPECIAL)
+_unf("sin", np.sin, cost=COST_SPECIAL)
+_unf("cos", np.cos, cost=COST_SPECIAL)
+_unf("tan", np.tan, cost=COST_SPECIAL)
+_unf("exp", np.exp, cost=COST_SPECIAL)
+_unf("log", np.log, cost=COST_SPECIAL)
+_unf("floor", np.floor)
+
+# --- integers -----------------------------------------------------------
+_bini("iadd", np.add, commutative=True)
+_bini("isub", np.subtract)
+_bini("imul", np.multiply, commutative=True)
+_bini("idiv", lambda a, b: np.floor_divide(a, b))
+_bini("imod", lambda a, b: np.mod(a, b))
+_bini("imin", np.minimum, commutative=True)
+_bini("imax", np.maximum, commutative=True)
+_register(OpInfo("ineg", 1, _same_int, np.negative, COST_INT))
+
+# --- casts --------------------------------------------------------------
+_register(OpInfo("itof", 1, lambda ts: F64,
+                 lambda a: np.asarray(a, dtype=np.float64) if isinstance(a, np.ndarray) else float(a),
+                 COST_INT))
+_register(OpInfo("ftoi", 1, lambda ts: I64,
+                 lambda a: np.asarray(np.trunc(a), dtype=np.int64) if isinstance(a, np.ndarray) else int(a),
+                 COST_INT))
+
+# --- comparisons & logic ------------------------------------------------
+_CMP_FNS = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+_register(OpInfo("cmp", 2, _bool, None, COST_FLOP, attrs={"preds": _CMP_FNS}))
+
+_register(OpInfo("and", 2, _bool_ops, np.logical_and, COST_INT, commutative=True))
+_register(OpInfo("or", 2, _bool_ops, np.logical_or, COST_INT, commutative=True))
+_register(OpInfo("xor", 2, _bool_ops, np.logical_xor, COST_INT, commutative=True))
+_register(OpInfo("not", 1, _bool_ops, np.logical_not, COST_INT))
+
+# select(cond, a, b): result type is the common type of a and b.
+_register(OpInfo(
+    "select", 3,
+    lambda ts: _select_type(ts),
+    lambda c, a, b: np.where(c, a, b),
+    COST_FLOP,
+))
+
+
+def _select_type(ts: list[Type]) -> Type:
+    if ts[0] is not I1:
+        raise TypeError("select condition must be i1")
+    if ts[1] is not ts[2]:
+        raise TypeError(f"select arms differ: {ts[1]} vs {ts[2]}")
+    return ts[1]
+
+
+#: Opcodes whose adjoint needs no primal values (linear ops).
+LINEAR_OPS = frozenset({"add", "sub", "neg", "fma_none"})
+
+#: All computational opcodes.
+COMPUTE_OPS = frozenset(OP_INFO)
+
+FLOAT_BINOPS = frozenset(
+    op for op, info in OP_INFO.items()
+    if info.arity == 2 and info.result_type is _same_float
+)
+INT_OPS = frozenset(
+    op for op, info in OP_INFO.items() if info.cost == COST_INT
+)

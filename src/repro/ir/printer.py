@@ -1,0 +1,132 @@
+"""Textual printer for the repro IR (debugging, tests, goldens)."""
+
+from __future__ import annotations
+
+import io
+
+from .function import Function, Module
+from .ops import Block, Op
+from .values import Argument, BlockArg, Constant, Result, Value
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self.names: dict[Value, str] = {}
+        self.counter = 0
+
+    def name(self, v: Value) -> str:
+        if isinstance(v, Constant):
+            return repr(v.value)
+        if v in self.names:
+            return self.names[v]
+        if isinstance(v, (Argument, BlockArg)) and v.name:
+            n = f"%{v.name}"
+        else:
+            n = f"%{self.counter}"
+            self.counter += 1
+        # Disambiguate duplicates.
+        while n in self.names.values():
+            n = f"{n}_{self.counter}"
+            self.counter += 1
+        self.names[v] = n
+        return n
+
+
+def print_module(module: Module) -> str:
+    out = io.StringIO()
+    for fn in module.functions.values():
+        out.write(print_function(fn))
+        out.write("\n")
+    return out.getvalue()
+
+
+def print_function(fn: Function) -> str:
+    out = io.StringIO()
+    namer = _Namer()
+    args = ", ".join(
+        f"{namer.name(a)}: {a.type}"
+        + ("".join(f" {k}" for k, val in sorted(a.attrs.items()) if val))
+        for a in fn.args)
+    out.write(f"func @{fn.name}({args}) -> {fn.ret_type} {{\n")
+    _print_block(fn.body, out, namer, indent=1)
+    out.write("}\n")
+    return out.getvalue()
+
+
+def _fmt_attrs(op: Op, skip=("callee",)) -> str:
+    items = [f'{k}={v!r}' for k, v in sorted(op.attrs.items())
+             if k not in skip and v not in (False, None, {}, [])]
+    return (" {" + ", ".join(items) + "}") if items else ""
+
+
+def _print_block(block: Block, out, namer: _Namer, indent: int) -> None:
+    pad = "  " * indent
+    for op in block.ops:
+        n = namer.name
+        oc = op.opcode
+        if oc == "load":
+            out.write(f"{pad}{n(op.result)} = load {n(op.operands[0])}"
+                      f"[{n(op.operands[1])}] : {op.result.type}\n")
+        elif oc == "store":
+            out.write(f"{pad}store {n(op.operands[0])}, {n(op.operands[1])}"
+                      f"[{n(op.operands[2])}]\n")
+        elif oc == "atomic":
+            out.write(f"{pad}atomic_{op.attrs['kind']} {n(op.operands[0])}, "
+                      f"{n(op.operands[1])}[{n(op.operands[2])}]"
+                      f"{_fmt_attrs(op, skip=('callee', 'kind'))}\n")
+        elif oc == "alloc":
+            out.write(f"{pad}{n(op.result)} = alloc {n(op.operands[0])} x "
+                      f"{op.result.type.elem} space={op.attrs['space']}\n")
+        elif oc == "call":
+            res = f"{n(op.result)} = " if op.result else ""
+            args = ", ".join(n(v) for v in op.operands)
+            out.write(f"{pad}{res}call @{op.attrs['callee']}({args})"
+                      f"{_fmt_attrs(op)}\n")
+        elif oc == "return":
+            vals = ", ".join(n(v) for v in op.operands)
+            out.write(f"{pad}return {vals}\n".rstrip() + "\n")
+        elif oc == "for":
+            kind = "workshare_for" if op.attrs.get("workshare") else "for"
+            simd = " simd" if op.attrs.get("simd") else ""
+            out.write(f"{pad}{kind}{simd} {namer.name(op.body.args[0])} in "
+                      f"[{n(op.operands[0])}, {n(op.operands[1])}) "
+                      f"step {n(op.operands[2])} {{\n")
+            _print_block(op.regions[0], out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "parallel_for":
+            out.write(f"{pad}parallel_for {namer.name(op.body.args[0])} in "
+                      f"[{n(op.operands[0])}, {n(op.operands[1])})"
+                      f"{_fmt_attrs(op)} {{\n")
+            _print_block(op.regions[0], out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "fork":
+            body = op.regions[0]
+            out.write(f"{pad}fork({n(op.operands[0])}) "
+                      f"({namer.name(body.args[0])}, {namer.name(body.args[1])})"
+                      f" {{\n")
+            _print_block(body, out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "if":
+            out.write(f"{pad}if {n(op.operands[0])} {{\n")
+            _print_block(op.regions[0], out, namer, indent + 1)
+            if op.regions[1].ops:
+                out.write(f"{pad}}} else {{\n")
+                _print_block(op.regions[1], out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "while":
+            out.write(f"{pad}while {namer.name(op.body.args[0])} {{\n")
+            _print_block(op.regions[0], out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "condition":
+            out.write(f"{pad}continue_if {n(op.operands[0])}\n")
+        elif oc == "spawn":
+            out.write(f"{pad}{n(op.result)} = spawn {{\n")
+            _print_block(op.regions[0], out, namer, indent + 1)
+            out.write(f"{pad}}}\n")
+        elif oc == "cmp":
+            out.write(f"{pad}{n(op.result)} = cmp.{op.attrs['pred']} "
+                      f"{n(op.operands[0])}, {n(op.operands[1])}\n")
+        else:
+            res = f"{n(op.result)} = " if op.result else ""
+            args = ", ".join(n(v) for v in op.operands)
+            out.write(f"{pad}{res}{oc} {args}{_fmt_attrs(op)}\n")

@@ -1,0 +1,120 @@
+"""Type system for the repro IR.
+
+The IR models a small, LLVM-flavoured SSA type system.  Scalar types are
+singletons; pointer types are interned per element type so that ``Ptr(F64)
+is Ptr(F64)`` holds and types can be compared with ``is``/``==`` freely.
+
+Handle types (``Task``, ``Request``, ``Token``) are opaque runtime objects
+used by the parallel runtimes: task handles from ``spawn``, MPI request
+handles, and GC-preserve tokens.  They can be stored in memory buffers of
+the corresponding pointer type, which is how programs keep arrays of MPI
+requests, exactly like ``MPI_Request reqs[26]`` in LULESH.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    #: Short printable name, overridden per instance.
+    name: str = "type"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_float(self) -> bool:
+        return self is F64
+
+    @property
+    def is_int(self) -> bool:
+        return self is I64
+
+    @property
+    def is_bool(self) -> bool:
+        return self is I1
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_handle(self) -> bool:
+        return self in (Task, Request, Token)
+
+    @property
+    def size_bytes(self) -> int:
+        """Byte size used by the performance model for memory traffic."""
+        if self is F64 or self is I64:
+            return 8
+        if self is I1:
+            return 1
+        if self.is_pointer or self.is_handle:
+            return 8
+        return 8
+
+
+class _Scalar(Type):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+#: 64-bit IEEE-754 floating point — the only differentiable scalar type.
+F64 = _Scalar("f64")
+#: 64-bit signed integer (indices, sizes, ranks, tags).
+I64 = _Scalar("i64")
+#: 1-bit boolean (comparison results, masks).
+I1 = _Scalar("i1")
+#: No value (functions without a return value).
+Void = _Scalar("void")
+#: Opaque task handle produced by ``spawn``.
+Task = _Scalar("task")
+#: Opaque MPI request handle.
+Request = _Scalar("request")
+#: Opaque GC-preserve token (``jl.gc_preserve_begin``).
+Token = _Scalar("token")
+
+
+class PointerType(Type):
+    """A pointer into a buffer of ``elem`` typed slots.
+
+    Pointers in the IR are (buffer, offset) pairs at run time; arithmetic
+    on them goes through the ``ptradd`` instruction.  There is no
+    bit-level aliasing between element types: a buffer is allocated with
+    one element type and keeps it for its lifetime.
+    """
+
+    _interned: dict[Type, "PointerType"] = {}
+
+    def __new__(cls, elem: Type) -> "PointerType":
+        cached = cls._interned.get(elem)
+        if cached is not None:
+            return cached
+        inst = super().__new__(cls)
+        inst.elem = elem
+        inst.name = f"ptr<{elem.name}>"
+        cls._interned[elem] = inst
+        return inst
+
+    def __init__(self, elem: Type) -> None:  # noqa: D107 - interned
+        # All state is set in __new__; __init__ may run again on the
+        # interned instance, which is harmless.
+        self.elem = elem
+
+
+def Ptr(elem: Type = F64) -> PointerType:
+    """Convenience constructor for pointer types (defaults to ``f64*``)."""
+    return PointerType(elem)
+
+
+def common_numeric(a: Type, b: Type) -> Type:
+    """Resulting type of mixing two numeric scalar types."""
+    if a is F64 or b is F64:
+        return F64
+    if a is I64 and b is I64:
+        return I64
+    raise TypeError(f"no common numeric type for {a} and {b}")

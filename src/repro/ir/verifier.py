@@ -1,0 +1,179 @@
+"""IR verifier.
+
+Checks the structural invariants the rest of the stack relies on:
+
+* SSA def-before-use with lexical dominance (a use sees definitions made
+  earlier in its own block or in any enclosing block),
+* placement rules for structured ops (workshare/barrier inside fork,
+  ``condition`` terminating while bodies, ``return`` at function top
+  level only),
+* callee existence and arity,
+* pointer-typed operands where memory ops require them.
+
+The verifier raises :class:`VerificationError` with a path to the
+offending op.
+"""
+
+from __future__ import annotations
+
+from .function import Function, Module
+from .ops import Block, Op
+from .types import I64, PointerType
+from .values import Argument, BlockArg, Constant, Result, Value
+
+
+class VerificationError(Exception):
+    pass
+
+
+class _Scope:
+    """A stack of visible-value frames (one per nested region)."""
+
+    def __init__(self) -> None:
+        self.frames: list[set[Value]] = []
+
+    def push(self, values=()) -> None:
+        self.frames.append(set(values))
+
+    def pop(self) -> None:
+        self.frames.pop()
+
+    def define(self, v: Value) -> None:
+        self.frames[-1].add(v)
+
+    def visible(self, v: Value) -> bool:
+        return any(v in frame for frame in self.frames)
+
+
+def verify_module(module: Module) -> None:
+    for fn in module.functions.values():
+        verify_function(fn, module)
+
+
+def verify_function(fn: Function, module: Module) -> None:
+    scope = _Scope()
+    scope.push(fn.args)
+    _verify_block(fn.body, scope, fn, module, context=())
+    ops = fn.body.ops
+    for i, op in enumerate(ops):
+        if op.opcode == "return" and i != len(ops) - 1:
+            raise VerificationError(
+                f"{fn.name}: return must be the last op of the function body")
+
+
+def _err(fn: Function, op: Op, msg: str) -> VerificationError:
+    return VerificationError(f"{fn.name}: {op!r}: {msg}")
+
+
+def _verify_block(block: Block, scope: _Scope, fn: Function, module: Module,
+                  context: tuple[str, ...]) -> None:
+    for i, op in enumerate(block.ops):
+        # 1. Operand visibility.
+        for v in op.operands:
+            if isinstance(v, Constant):
+                continue
+            if not isinstance(v, (Argument, BlockArg, Result)):
+                raise _err(fn, op, f"operand {v!r} is not an IR value")
+            if not scope.visible(v):
+                raise _err(fn, op,
+                           f"operand {v!r} does not dominate its use")
+
+        # 2. Placement rules.
+        _check_placement(op, i, block, context, fn)
+
+        # 3. Op-specific checks.
+        _check_op(op, fn, module)
+
+        # 4. Recurse into regions with an extended scope.
+        for region in op.regions:
+            scope.push(region.args)
+            child_ctx = context + (op.opcode,)
+            _verify_block(region, scope, fn, module, child_ctx)
+            scope.pop()
+
+        # 5. Results become visible for subsequent ops.
+        if op.result is not None:
+            scope.define(op.result)
+
+
+def _check_placement(op: Op, index: int, block: Block,
+                     context: tuple[str, ...], fn: Function) -> None:
+    oc = op.opcode
+    if oc == "return" and context:
+        raise _err(fn, op, "return inside a nested region")
+    if oc == "condition":
+        parent = block.parent_op
+        if parent is None or parent.opcode != "while":
+            raise _err(fn, op, "condition outside a while body")
+        if block.ops[-1] is not op:
+            raise _err(fn, op, "condition must terminate the while body")
+    if oc == "barrier" and "fork" not in context:
+        raise _err(fn, op, "barrier outside a fork region")
+    if oc == "for" and op.attrs.get("workshare"):
+        if "fork" not in context:
+            raise _err(fn, op, "workshare loop outside a fork region")
+    if oc in ("parallel_for", "fork"):
+        # No nested thread parallelism inside parallel regions (the
+        # paper's runtimes do not nest either); spawn regions may not
+        # contain forks.
+        if "parallel_for" in context or "fork" in context:
+            raise _err(fn, op, f"nested {oc} inside a parallel region")
+    if context and context[-1] == "parallel_for":
+        pass
+    if "parallel_for" in context or ("for" in context and oc == "barrier"):
+        if oc == "barrier" and "parallel_for" in context:
+            raise _err(fn, op, "barrier inside parallel_for body")
+
+
+def _check_op(op: Op, fn: Function, module: Module) -> None:
+    oc = op.opcode
+    if oc in ("load", "store", "atomic", "ptradd", "memset", "memcpy", "free"):
+        ptr_index = {"load": 0, "store": 1, "atomic": 1, "ptradd": 0,
+                     "memset": 0, "memcpy": 0, "free": 0}[oc]
+        ptr = op.operands[ptr_index]
+        if not isinstance(ptr.type, PointerType):
+            raise _err(fn, op, f"expected pointer operand, got {ptr.type}")
+        if oc == "load" or oc == "store" or oc == "atomic" or oc == "ptradd":
+            idx = op.operands[{"load": 1, "store": 2, "atomic": 2,
+                               "ptradd": 1}[oc]]
+            if idx.type is not I64:
+                raise _err(fn, op, f"index must be i64, got {idx.type}")
+        if oc == "store":
+            val = op.operands[0]
+            if val.type is not ptr.type.elem:
+                raise _err(fn, op,
+                           f"storing {val.type} into {ptr.type}")
+        if oc == "memcpy":
+            src = op.operands[1]
+            if not isinstance(src.type, PointerType):
+                raise _err(fn, op, "memcpy source must be a pointer")
+            if src.type is not ptr.type:
+                raise _err(fn, op, "memcpy element types differ")
+    elif oc == "call":
+        try:
+            target = module.lookup_callee(op.attrs["callee"])
+        except KeyError as e:
+            raise _err(fn, op, str(e))
+        from .function import IntrinsicInfo
+        if isinstance(target, IntrinsicInfo):
+            if not target.variadic and len(op.operands) != len(target.arg_types):
+                raise _err(fn, op,
+                           f"{target.name} expects {len(target.arg_types)} "
+                           f"args, got {len(op.operands)}")
+        else:
+            if len(op.operands) != len(target.args):
+                raise _err(fn, op,
+                           f"{target.name} expects {len(target.args)} args, "
+                           f"got {len(op.operands)}")
+    elif oc == "return":
+        if op.operands:
+            if fn.ret_type is None or op.operands[0].type is not fn.ret_type:
+                raise _err(fn, op, "return type mismatch")
+        else:
+            from .types import Void
+            if fn.ret_type is not Void:
+                raise _err(fn, op, f"missing return value ({fn.ret_type})")
+    elif oc == "while":
+        body = op.regions[0]
+        if not body.ops or body.ops[-1].opcode != "condition":
+            raise _err(fn, op, "while body must end with condition")

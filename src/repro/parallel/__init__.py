@@ -1,0 +1,17 @@
+"""repro.parallel — simulated parallel runtimes.
+
+* Shared-memory threading is built into the interpreter
+  (``parallel_for`` vectorized chunks, ``fork`` regions with barriers,
+  ``spawn``/``wait`` tasks with an online list scheduler).
+* :mod:`repro.parallel.mpi` provides SimMPI: cooperative rank
+  scheduling with eager point-to-point messaging, collectives, and an
+  (α, β) network model per MPI implementation.
+* :mod:`repro.parallel.dag` gives the DAG view of task parallelism the
+  paper's differentiation model is stated in terms of (§IV-A),
+  including DAG reversal and makespan scheduling used in tests.
+"""
+
+from .dag import TaskDAG, list_schedule
+from .mpi import MPIRunResult, SimMPI, mpi_run
+
+__all__ = ["TaskDAG", "list_schedule", "MPIRunResult", "SimMPI", "mpi_run"]

@@ -1,0 +1,378 @@
+"""SimMPI: a simulated MPI runtime over interpreter coroutines.
+
+Each rank is an :class:`~repro.interp.interpreter.Interpreter` whose
+execution generator yields :class:`~repro.interp.events.MPIEvent`
+objects at communication calls.  The engine matches point-to-point
+messages, executes collectives when all ranks arrive, and advances
+per-rank simulated clocks using the machine model's (α, β) network
+constants — per MPI implementation, so the C++ (OpenMPI) and Julia
+(MPICH) variants see different communication costs, as in the paper's
+setup (§VII-e).
+
+Semantics notes:
+
+* blocking sends are *eager/buffered* (they never block the sender) —
+  this keeps symmetric exchange patterns deadlock-free in both the
+  primal and the adjoint, where every send/recv pair is mirrored;
+* nonblocking receives are posted and matched in order per
+  (source, tag) channel;
+* collectives are SPMD-matched by arrival order and must agree in kind
+  and count across ranks;
+* all ranks run on one node (the paper evaluates MPI scaling on a
+  single dual-socket c6i.metal box), so ``procs_on_node`` equals the
+  communicator size and memory contention grows with it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..interp.events import MPIEvent
+from ..interp.executor import Executor
+from ..interp.interpreter import ExecConfig, Interpreter
+from ..interp.memory import InterpreterError, PtrVal
+from ..ir.function import Module
+from ..perf.cost import CostVector
+from ..perf.machine import MachineModel, c6i_metal
+
+_req_ids = itertools.count(1)
+
+
+class EngineRequest:
+    """Engine-side nonblocking-operation handle."""
+
+    __slots__ = ("rid", "kind", "rank", "peer", "tag", "count", "buf",
+                 "complete_at", "matched", "message")
+
+    def __init__(self, kind: str, rank: int, peer: int, tag: int,
+                 count: int, buf) -> None:
+        self.rid = next(_req_ids)
+        self.kind = kind            # "send" | "recv"
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.count = count
+        self.buf = buf
+        self.complete_at: Optional[float] = None
+        self.matched = False
+        self.message = None
+
+
+class _Message:
+    __slots__ = ("src", "dst", "tag", "data", "arrival")
+
+    def __init__(self, src: int, dst: int, tag: int, data: np.ndarray,
+                 arrival: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.data = data
+        self.arrival = arrival
+
+
+def _buf_slice(ptr: PtrVal, count: int) -> np.ndarray:
+    ptr.buffer.check_alive()
+    off = int(ptr.offset)
+    if off < 0 or off + count > ptr.buffer.count:
+        raise InterpreterError("MPI buffer out of bounds")
+    return ptr.buffer.data[off:off + count]
+
+
+@dataclass
+class MPIRunResult:
+    results: list
+    time: float
+    clocks: list[float]
+    costs: list[CostVector]
+
+    @property
+    def total_cost(self) -> CostVector:
+        c = CostVector()
+        for x in self.costs:
+            c.merge(x)
+        return c
+
+
+class _RankState:
+    __slots__ = ("gen", "interp", "executor", "blocked_on", "done",
+                 "result", "pending_reply")
+
+    def __init__(self, gen, interp, executor) -> None:
+        self.gen = gen
+        self.interp = interp
+        self.executor = executor
+        self.blocked_on = None      # None | ("recv", ev) | ("wait", req)
+        self.done = False
+        self.result = None
+        self.pending_reply = None
+
+
+class SimMPI:
+    """Run one SPMD function over ``nprocs`` simulated ranks."""
+
+    def __init__(self, module: Module, nprocs: int,
+                 config: Optional[ExecConfig] = None,
+                 machine: Optional[MachineModel] = None) -> None:
+        self.module = module
+        self.nprocs = nprocs
+        self.base_config = config or ExecConfig()
+        self.machine = machine or self.base_config.machine or c6i_metal()
+        self.network = self.machine.network(self.base_config.mpi_impl)
+
+        self.ranks: list[_RankState] = []
+        # (dst, src, tag) -> FIFO of messages
+        self._mailbox: dict[tuple, list[_Message]] = {}
+        # (dst, src, tag) -> FIFO of posted receive requests
+        self._posted: dict[tuple, list[EngineRequest]] = {}
+        self._collective: list = [None] * nprocs
+
+    # ------------------------------------------------------------------
+    def run(self, fn_name: str, rank_args: Callable[[int], tuple] | list,
+            ) -> MPIRunResult:
+        def make_gen(r: int, ex: Executor):
+            args = rank_args(r) if callable(rank_args) else rank_args[r]
+            return ex.call_generator(fn_name, *args)
+        return self.run_custom(make_gen)
+
+    def run_custom(self, make_gen: Callable) -> MPIRunResult:
+        """Run arbitrary per-rank generators (e.g. primal-then-reverse
+        tape drivers).  ``make_gen(rank, executor)`` returns the rank's
+        event generator."""
+        import copy
+        for r in range(self.nprocs):
+            cfg = copy.copy(self.base_config)
+            cfg.machine = self.machine
+            ex = Executor(self.module, cfg)
+            interp = ex.interp
+            interp.rank = r
+            interp.nprocs = self.nprocs
+            interp.procs_on_node = self.nprocs
+            gen = make_gen(r, ex)
+            self.ranks.append(_RankState(gen, interp, ex))
+
+        sweeps = 0
+        while not all(st.done for st in self.ranks):
+            progress = False
+            for r, st in enumerate(self.ranks):
+                if st.done or st.blocked_on is not None:
+                    continue
+                self._step_rank(r, st)
+                progress = True
+            sweeps += 1
+            if not progress:
+                self._deadlock()
+            if sweeps > 10_000_000:
+                raise InterpreterError("SimMPI sweep limit exceeded")
+
+        results = [st.result for st in self.ranks]
+        clocks = [st.interp.clock for st in self.ranks]
+        costs = [st.interp.raw_total for st in self.ranks]
+        return MPIRunResult(results, max(clocks) if clocks else 0.0,
+                            clocks, costs)
+
+    # ------------------------------------------------------------------
+    def _step_rank(self, r: int, st: _RankState) -> None:
+        """Run rank ``r`` until it blocks or finishes."""
+        while True:
+            try:
+                reply, st.pending_reply = st.pending_reply, None
+                ev = st.gen.send(reply)
+            except StopIteration as stop:
+                st.interp.flush_serial()
+                st.done = True
+                st.result = stop.value
+                return
+            if not isinstance(ev, MPIEvent):
+                raise InterpreterError(f"rank {r}: unexpected event {ev!r}")
+            if self._service(r, st, ev):
+                continue  # event completed synchronously; resume rank
+            return        # rank blocked
+
+    def _service(self, r: int, st: _RankState, ev: MPIEvent) -> bool:
+        """Handle one event.  Returns True if the rank may continue."""
+        kind = ev.kind
+        interp = st.interp
+        if kind == "send" or kind == "isend":
+            data = np.array(_buf_slice(ev.buf, ev.count))
+            interp.clock += self.network.alpha
+            arrival = interp.clock + self.network.ptp_time(8 * ev.count)
+            msg = _Message(r, ev.peer, ev.tag, data, arrival)
+            self._deliver(msg)
+            if kind == "send":
+                st.pending_reply = None
+                return True
+            req = EngineRequest("send", r, ev.peer, ev.tag, ev.count, ev.buf)
+            req.complete_at = interp.clock
+            st.pending_reply = req
+            return True
+        if kind == "irecv":
+            req = EngineRequest("recv", r, ev.peer, ev.tag, ev.count, ev.buf)
+            self._posted.setdefault((r, ev.peer, ev.tag), []).append(req)
+            self._match(r, ev.peer, ev.tag)
+            st.pending_reply = req
+            return True
+        if kind == "recv":
+            req = EngineRequest("recv", r, ev.peer, ev.tag, ev.count, ev.buf)
+            self._posted.setdefault((r, ev.peer, ev.tag), []).append(req)
+            self._match(r, ev.peer, ev.tag)
+            if req.matched:
+                interp.clock = max(interp.clock, req.complete_at)
+                st.pending_reply = None
+                return True
+            st.blocked_on = ("req", req)
+            return False
+        if kind == "wait":
+            req: EngineRequest = ev.request
+            if not isinstance(req, EngineRequest):
+                raise InterpreterError(f"rank {r}: wait on {req!r}")
+            if req.kind == "send":
+                interp.clock = max(interp.clock, req.complete_at)
+                st.pending_reply = None
+                return True
+            if req.matched:
+                interp.clock = max(interp.clock, req.complete_at)
+                st.pending_reply = None
+                return True
+            st.blocked_on = ("req", req)
+            return False
+        if kind in ("allreduce", "reduce", "bcast", "barrier",
+                    "winner_mask"):
+            self._collective[r] = (st, ev)
+            if all(c is not None for c in self._collective):
+                self._run_collective()
+                return True
+            st.blocked_on = ("collective",)
+            return False
+        raise InterpreterError(f"rank {r}: unknown MPI event kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: _Message) -> None:
+        chan = (msg.dst, msg.src, msg.tag)
+        posted = self._posted.get(chan)
+        if posted:
+            req = posted.pop(0)
+            self._complete_recv(req, msg)
+        else:
+            self._mailbox.setdefault(chan, []).append(msg)
+
+    def _match(self, dst: int, src: int, tag: int) -> None:
+        chan = (dst, src, tag)
+        inbox = self._mailbox.get(chan)
+        posted = self._posted.get(chan)
+        while inbox and posted:
+            msg = inbox.pop(0)
+            req = posted.pop(0)
+            self._complete_recv(req, msg)
+
+    def _complete_recv(self, req: EngineRequest, msg: _Message) -> None:
+        if len(msg.data) != req.count:
+            raise InterpreterError(
+                f"message size mismatch: sent {len(msg.data)}, "
+                f"receiving {req.count} (src={msg.src} dst={msg.dst} "
+                f"tag={msg.tag})")
+        _buf_slice(req.buf, req.count)[:] = msg.data
+        req.matched = True
+        req.message = msg
+        req.complete_at = msg.arrival
+        st = self.ranks[req.rank]
+        if st.blocked_on and st.blocked_on[0] == "req" and \
+                st.blocked_on[1] is req:
+            st.blocked_on = None
+            st.interp.clock = max(st.interp.clock, req.complete_at)
+            st.pending_reply = None
+
+    # ------------------------------------------------------------------
+    def _run_collective(self) -> None:
+        entries = self._collective
+        kinds = {ev.kind for _, ev in entries}
+        if len(kinds) != 1:
+            raise InterpreterError(
+                f"mismatched collectives across ranks: {kinds}")
+        kind = kinds.pop()
+        t0 = max(st.interp.clock for st, _ in entries)
+        P = self.nprocs
+
+        if kind == "barrier":
+            done = t0 + self.network.allreduce_time(8, P)
+            for st, _ in entries:
+                st.interp.clock = done
+                st.pending_reply = None
+        elif kind == "allreduce":
+            count = entries[0][1].count
+            sends = [np.array(_buf_slice(ev.buf, count))
+                     for _, ev in entries]
+            op = entries[0][1].op
+            out = _combine(sends, op)
+            done = t0 + self.network.allreduce_time(8 * count, P)
+            for st, ev in entries:
+                _buf_slice(ev.recvbuf, count)[:] = out
+                st.interp.clock = done
+                st.pending_reply = None
+        elif kind == "reduce":
+            count = entries[0][1].count
+            root = entries[0][1].root
+            sends = [np.array(_buf_slice(ev.buf, count))
+                     for _, ev in entries]
+            out = _combine(sends, entries[0][1].op)
+            done = t0 + self.network.bcast_time(8 * count, P)
+            for q, (st, ev) in enumerate(entries):
+                if q == root:
+                    _buf_slice(ev.recvbuf, count)[:] = out
+                st.interp.clock = done
+                st.pending_reply = None
+        elif kind == "bcast":
+            count = entries[0][1].count
+            root = entries[0][1].root
+            data = np.array(_buf_slice(entries[root][1].buf, count))
+            done = t0 + self.network.bcast_time(8 * count, P)
+            for q, (st, ev) in enumerate(entries):
+                if q != root:
+                    _buf_slice(ev.buf, count)[:] = data
+                st.interp.clock = done
+                st.pending_reply = None
+        elif kind == "winner_mask":
+            count = entries[0][1].count
+            op = entries[0][1].op
+            sends = np.stack([np.array(_buf_slice(ev.buf, count))
+                              for _, ev in entries])
+            best = sends.min(axis=0) if op == "min" else sends.max(axis=0)
+            at_best = sends == best[None, :]
+            first = np.argmax(at_best, axis=0)
+            done = t0 + self.network.allreduce_time(16 * count, P)
+            for q, (st, ev) in enumerate(entries):
+                st.interp.clock = done
+                st.pending_reply = (first == q)
+        else:  # pragma: no cover
+            raise InterpreterError(f"collective {kind!r} not implemented")
+
+        for st, _ in entries:
+            st.blocked_on = None
+        self._collective = [None] * self.nprocs
+
+    def _deadlock(self) -> None:
+        lines = []
+        for q, st in enumerate(self.ranks):
+            lines.append(f"rank {q}: done={st.done} blocked={st.blocked_on}")
+        raise InterpreterError("MPI deadlock:\n" + "\n".join(lines))
+
+
+def _combine(arrays: list[np.ndarray], op: str) -> np.ndarray:
+    stack = np.stack(arrays)
+    if op == "sum":
+        return stack.sum(axis=0)
+    if op == "min":
+        return stack.min(axis=0)
+    if op == "max":
+        return stack.max(axis=0)
+    raise InterpreterError(f"unknown reduction op {op!r}")
+
+
+def mpi_run(module: Module, fn_name: str, nprocs: int, rank_args,
+            config: Optional[ExecConfig] = None,
+            machine: Optional[MachineModel] = None) -> MPIRunResult:
+    """One-shot convenience wrapper around :class:`SimMPI`."""
+    return SimMPI(module, nprocs, config, machine).run(fn_name, rank_args)

@@ -1,0 +1,104 @@
+"""Function inlining.
+
+Enzyme differentiates after optimization, and in particular after
+inlining: the AD transform in this reproduction requires user-function
+calls to be inlined first (intrinsics are handled by registered adjoint
+rules instead).  Functions marked ``noinline`` are kept as calls — used
+by the miniBUDE.jl variant, which no-inlines its core kernel exactly as
+the paper describes (§VII-A-c); such calls are then inlined *by the AD
+engine itself* on demand.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Module
+from ..ir.ops import Block, CallOp, Op
+from ..ir.values import Value
+
+
+class InlineError(Exception):
+    pass
+
+
+def inline_call(op: CallOp, module: Module) -> list[Op]:
+    """Produce the inlined op list replacing ``op`` (not yet spliced)."""
+    callee = module.functions[op.attrs["callee"]]
+    vmap: dict[Value, Value] = dict(zip(callee.args, op.operands))
+    new_ops: list[Op] = []
+    ret_val = None
+    body_ops = callee.body.ops
+    for i, inner in enumerate(body_ops):
+        if inner.opcode == "return":
+            if inner.operands:
+                ret_val = vmap.get(inner.operands[0], inner.operands[0])
+            break
+        new_ops.append(inner.clone(vmap))
+    if op.result is not None:
+        if ret_val is None:
+            raise InlineError(
+                f"call to {callee.name} expects a result but callee does "
+                f"not return a value")
+        # Map the call's result onto the inlined return value for all
+        # later uses.
+        _replace_uses(op, ret_val)
+    return new_ops
+
+
+def _replace_uses(op: Op, new_val: Value) -> None:
+    """Replace uses of op.result with new_val in the rest of the function."""
+    old = op.result
+    blk = op.parent
+    fn_block = blk
+    while fn_block.parent_op is not None:
+        fn_block = fn_block.parent_op.parent
+    for other in fn_block.walk():
+        if other is op:
+            continue
+        if old in other.operands:
+            other.replace_operand(old, new_val)
+
+
+def inline_all(fn: Function, module: Module, max_rounds: int = 16) -> int:
+    """Inline every call to a non-``noinline`` user function.  Returns
+    the number of call sites inlined."""
+    total = 0
+    for _ in range(max_rounds):
+        sites = [
+            op for op in fn.walk()
+            if op.opcode == "call"
+            and op.attrs["callee"] in module.functions
+            and not module.functions[op.attrs["callee"]].attrs.get("noinline")
+        ]
+        if not sites:
+            return total
+        for op in sites:
+            new_ops = inline_call(op, module)
+            blk = op.parent
+            at = blk.ops.index(op)
+            blk.ops[at:at + 1] = new_ops
+            for o in new_ops:
+                o.parent = blk
+            total += 1
+    raise InlineError(f"inlining did not converge in {max_rounds} rounds "
+                      f"(recursive calls?)")
+
+
+def force_inline_all(fn: Function, module: Module) -> int:
+    """Inline every user call including ``noinline`` ones (AD does this
+    for the functions it must differentiate through)."""
+    total = 0
+    for _ in range(32):
+        sites = [op for op in fn.walk()
+                 if op.opcode == "call"
+                 and op.attrs["callee"] in module.functions]
+        if not sites:
+            return total
+        for op in sites:
+            new_ops = inline_call(op, module)
+            blk = op.parent
+            at = blk.ops.index(op)
+            blk.ops[at:at + 1] = new_ops
+            for o in new_ops:
+                o.parent = blk
+            total += 1
+    raise InlineError("force-inlining did not converge (recursive calls?)")

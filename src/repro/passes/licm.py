@@ -1,0 +1,112 @@
+"""Loop-invariant code motion.
+
+Hoists pure computational ops (and loads from memory not written inside
+the loop) out of ``for``/``parallel_for``/``while`` bodies when all
+operands are defined outside the region.  Loads are hoisted
+speculatively (buffers in this IR are always dereferenceable), which is
+what allows the later AD transform to find the values at function depth
+and skip caching them — the interplay §V-E describes.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Module
+from ..ir.opinfo import OP_INFO
+from ..ir.ops import Block, Op
+from ..ir.types import PointerType
+from ..ir.values import Constant, Value
+from ..passes.aliasing import UNKNOWN, analyze_aliasing, provs_may_alias
+from .pass_manager import FunctionPass
+
+
+class LICM(FunctionPass):
+    name = "licm"
+
+    def __init__(self, hoist_loads: bool = True) -> None:
+        self.hoist_loads = hoist_loads
+
+    def run(self, fn: Function, module: Module) -> bool:
+        self.aliasing = analyze_aliasing(fn, module)
+        return self._visit(fn.body, outer_defined=set(
+            list(fn.args)), module=module)
+
+    def _visit(self, block: Block, outer_defined: set, module) -> bool:
+        changed = False
+        defined = set(outer_defined)
+        for op in list(block.ops):
+            # Parallel constructs are opaque to plain LICM — in real
+            # LLVM the outlined ``__kmpc_fork`` body is a separate
+            # function.  Hoisting out of them is OpenMPOpt's job.
+            if op.opcode in ("for", "while") and not \
+                    op.attrs.get("workshare"):
+                changed |= self._hoist_from(op, block, defined, module)
+            for region in op.regions:
+                inner = set(defined)
+                inner.update(region.args)
+                # Results inside the region become visible there during
+                # the recursive walk.
+                changed |= self._visit(region, inner, module)
+            if op.result is not None:
+                defined.add(op.result)
+        return changed
+
+    def _region_writes(self, op: Op):
+        origins = set()
+        unknown = False
+        for inner in op.walk():
+            target = None
+            if inner.opcode in ("store", "atomic"):
+                target = inner.operands[1]
+            elif inner.opcode in ("memset", "memcpy"):
+                target = inner.operands[0]
+            elif inner.opcode == "call":
+                callee = inner.attrs["callee"]
+                if callee.startswith("mpi.") or callee.startswith("mpid."):
+                    unknown = True
+            if target is not None:
+                p = self.aliasing.provenance(target)
+                if UNKNOWN in p:
+                    unknown = True
+                origins |= set(p)
+        return origins, unknown
+
+    def _hoist_from(self, loop: Op, parent: Block, defined: set,
+                    module) -> bool:
+        body = loop.regions[0]
+        writes, unknown_writes = self._region_writes(loop)
+        changed = False
+        moved = True
+        while moved:
+            moved = False
+            for op in list(body.ops):
+                if not self._hoistable(op, defined, writes, unknown_writes,
+                                       module):
+                    continue
+                body.remove(op)
+                at = parent.ops.index(loop)
+                parent.insert(at, op)
+                defined.add(op.result)
+                moved = changed = True
+        return changed
+
+    def _hoistable(self, op: Op, defined: set, writes, unknown_writes,
+                   module) -> bool:
+        if op.result is None or op.has_regions:
+            return False
+        for v in op.operands:
+            if not isinstance(v, Constant) and v not in defined:
+                return False
+        oc = op.opcode
+        if oc in OP_INFO or oc == "ptradd":
+            return True
+        if oc == "load" and self.hoist_loads:
+            if unknown_writes:
+                return False
+            p = self.aliasing.provenance(op.operands[0])
+            if UNKNOWN in p:
+                return False
+            return not (set(p) & writes)
+        if oc == "call":
+            info = module.intrinsics.get(op.attrs["callee"])
+            return info is not None and info.effects == "pure"
+        return False

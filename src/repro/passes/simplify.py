@@ -1,0 +1,51 @@
+"""Structural simplifications.
+
+* drop ``if`` ops whose regions are both empty,
+* drop zero-trip-count constant loops,
+* flatten ``if`` with a constant condition,
+* remove self-copies (``memcpy(p, p, n)`` is UB-adjacent; dropped).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Module
+from ..ir.ops import Block, Op
+from ..ir.values import Constant
+from .pass_manager import FunctionPass
+
+
+class Simplify(FunctionPass):
+    name = "simplify"
+
+    def run(self, fn: Function, module: Module) -> bool:
+        return self._block(fn.body)
+
+    def _block(self, block: Block) -> bool:
+        changed = False
+        for op in list(block.ops):
+            for region in op.regions:
+                changed |= self._block(region)
+            oc = op.opcode
+            if oc == "if":
+                cond = op.operands[0]
+                if not op.regions[0].ops and not op.regions[1].ops:
+                    block.remove(op)
+                    changed = True
+                elif isinstance(cond, Constant):
+                    body = op.regions[0] if cond.value else op.regions[1]
+                    at = block.ops.index(op)
+                    block.remove(op)
+                    for o in reversed(body.ops):
+                        # Region has no block args; splice directly.
+                        block.insert(at, o)
+                    changed = True
+            elif oc in ("for", "parallel_for"):
+                lb, ub = op.operands[0], op.operands[1]
+                if (isinstance(lb, Constant) and isinstance(ub, Constant)
+                        and ub.value <= lb.value):
+                    block.remove(op)
+                    changed = True
+            elif oc == "memcpy" and op.operands[0] is op.operands[1]:
+                block.remove(op)
+                changed = True
+        return changed

@@ -1,0 +1,16 @@
+"""repro.perf — instruction-cost accounting and the simulated machine.
+
+Numerics in this reproduction are computed for real; *time* is modeled.
+The interpreter produces :class:`~repro.perf.cost.CostVector` counts per
+serial segment / per thread / per rank, and the
+:class:`~repro.perf.machine.MachineModel` (calibrated to the paper's
+AWS c6i.metal testbed) converts them into simulated seconds, including
+socket/NUMA effects, shared memory bandwidth, atomics contention, fork
+and task overheads, and per-MPI-implementation network constants.
+"""
+
+from .cost import CostVector
+from .machine import MachineModel, MPINetwork, c6i_metal, uncontended
+
+__all__ = ["CostVector", "MachineModel", "MPINetwork", "c6i_metal",
+           "uncontended"]

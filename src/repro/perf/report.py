@@ -1,0 +1,110 @@
+"""Result reporting: paper-style tables and ASCII scaling plots.
+
+Used by the benchmark harness and the examples to render the series the
+paper plots (runtime, speedup T1/Tn, efficiency, overhead) from raw
+(configuration → simulated seconds) measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One line of a scaling figure: label + (x, seconds) points."""
+
+    label: str
+    points: dict = field(default_factory=dict)   # x -> seconds
+
+    def add(self, x, seconds: float) -> None:
+        self.points[x] = seconds
+
+    @property
+    def xs(self) -> list:
+        return sorted(self.points)
+
+    def speedup(self) -> "Series":
+        base = self.points[self.xs[0]]
+        out = Series(self.label + " speedup")
+        for x in self.xs:
+            out.add(x, base / self.points[x])
+        return out
+
+    def efficiency(self) -> "Series":
+        sp = self.speedup()
+        base_x = self.xs[0]
+        out = Series(self.label + " efficiency")
+        for x in sp.xs:
+            out.add(x, sp.points[x] * base_x / x)
+        return out
+
+    def overhead_against(self, primal: "Series") -> "Series":
+        out = Series(self.label + " overhead")
+        for x in self.xs:
+            if x in primal.points:
+                out.add(x, self.points[x] / primal.points[x])
+        return out
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in r] for r in rows]
+    widths = [max(len(c), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(c) for i, c in enumerate(columns)]
+    lines = [f"== {title} ==",
+             "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             "  ".join("-" * w for w in widths)]
+    for r in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def ascii_plot(series_list: Sequence[Series], title: str = "",
+               width: int = 60, height: int = 16,
+               logx: bool = True, value: str = "speedup") -> str:
+    """A crude log-x scatter of scaling series (one marker per series)."""
+    marks = "ox+*#@%&"
+    pts = []
+    for si, s in enumerate(series_list):
+        src = s.speedup() if value == "speedup" else s
+        for x in src.xs:
+            pts.append((x, src.points[x], marks[si % len(marks)]))
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+
+    def tx(x):
+        if logx:
+            lo, hi = math.log2(min(xs)), math.log2(max(max(xs), min(xs) + 1))
+            t = (math.log2(x) - lo) / max(hi - lo, 1e-9)
+        else:
+            t = (x - min(xs)) / max(max(xs) - min(xs), 1e-9)
+        return min(width - 1, int(t * (width - 1)))
+
+    ymax = max(ys) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, m in pts:
+        r = height - 1 - min(height - 1, int(y / ymax * (height - 1)))
+        grid[r][tx(x)] = m
+    lines = [title] if title else []
+    lines.append(f"{ymax:8.2f} ┤" + "")
+    for row in grid:
+        lines.append("         │" + "".join(row))
+    lines.append("         └" + "─" * width)
+    legend = "   ".join(f"{marks[i % len(marks)]}={s.label}"
+                        for i, s in enumerate(series_list))
+    lines.append("           " + legend)
+    return "\n".join(lines)

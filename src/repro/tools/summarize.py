@@ -1,0 +1,78 @@
+"""Summarize benchmark results: ``python -m repro.tools.summarize``.
+
+Reads the JSON series the benchmark harness saved under
+``benchmarks/results/`` and renders the paper-style tables plus ASCII
+scaling plots for the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..perf.report import Series, ascii_plot, format_table
+
+DEFAULT_DIR = pathlib.Path(__file__).resolve().parents[3] / \
+    "benchmarks" / "results"
+
+#: result-name -> (x key, series key, y key) for plotting
+_PLOTTABLE = {
+    "fig8_mid_strong": ("ranks", "impl", "fwd_speedup"),
+    "fig9_top_lulesh": ("threads", "impl", "fwd_speedup"),
+    "fig9_bot_minibude": ("threads", "impl", "overhead"),
+}
+
+
+def load(results_dir: pathlib.Path) -> dict:
+    out = {}
+    for path in sorted(results_dir.glob("*.json")):
+        with open(path) as f:
+            out[path.stem] = json.load(f)
+    return out
+
+
+def render(name: str, data: dict, plot: bool = True) -> str:
+    rows = data["rows"]
+    cols = list(rows[0].keys()) if rows else []
+    text = format_table(data["title"], cols,
+                        [[r.get(c) for c in cols] for r in rows])
+    spec = _PLOTTABLE.get(name)
+    if plot and spec and rows:
+        xk, sk, yk = spec
+        series: dict[str, Series] = {}
+        for r in rows:
+            s = series.setdefault(r[sk], Series(str(r[sk])))
+            s.points[r[xk]] = float(r[yk])
+        text += "\n" + ascii_plot(list(series.values()),
+                                  title=f"{name}: {yk} vs {xk}",
+                                  value="raw")
+    return text
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", type=pathlib.Path, default=DEFAULT_DIR)
+    ap.add_argument("--no-plots", action="store_true")
+    ap.add_argument("names", nargs="*",
+                    help="result names to show (default: all)")
+    args = ap.parse_args(argv)
+    data = load(args.results)
+    if not data:
+        print(f"no results in {args.results}; run "
+              f"`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    names = args.names or sorted(data)
+    for n in names:
+        if n not in data:
+            print(f"unknown result {n!r}", file=sys.stderr)
+            return 2
+        print(render(n, data[n], plot=not args.no_plots))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""AD of less-common structural combinations: while-in-fork, if-in-ws,
+multi-barrier phases, serial-for-in-parallel-for."""
+
+import numpy as np
+import pytest
+
+from repro.ad import Duplicated, autodiff
+from repro.frontends import OpenMP
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+
+def _grad_run(b, fn, acts, args, nt=1):
+    grad = autodiff(b.module, fn, acts)
+    ex = Executor(b.module, ExecConfig(num_threads=nt))
+    ex.run(grad, *args)
+    return grad
+
+
+def test_serial_loop_inside_parallel_for():
+    """Per-iteration fixed-count inner loop (the LULESH EOS pattern)."""
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            with b.for_(0, 3) as _k:
+                v2 = b.load(x, i)
+                b.store(b.mul(v2, 1.1), x, i)
+            del v
+    grad = autodiff(b.module, "k", [Duplicated, None])
+    x0 = np.arange(1.0, 5.0)
+    dx = np.ones(4)
+    Executor(b.module, ExecConfig(num_threads=2)).run(grad, x0.copy(),
+                                                      dx, 4)
+    np.testing.assert_allclose(dx, 1.1 ** 3)
+
+
+def test_if_inside_workshare():
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        omp = OpenMP(b)
+        with omp.parallel_for(0, n, captured=[x, n]) as (i, env):
+            v = b.load(env[x], i)
+            with b.if_(v > 1.0):
+                b.store(v * v, env[x], i)
+    grad = autodiff(b.module, "k", [Duplicated, None])
+    x0 = np.array([0.5, 2.0, 3.0, 0.7])
+    dx = np.ones(4)
+    Executor(b.module, ExecConfig(num_threads=2)).run(grad, x0.copy(),
+                                                      dx, 4)
+    np.testing.assert_allclose(dx, [1.0, 4.0, 6.0, 1.0])
+
+
+def test_multi_phase_fork_gradient():
+    """Two worksharing phases separated by a barrier; phase 2 reads
+    phase 1's output — the reverse must re-synchronize correctly."""
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("t", Ptr()), ("n", I64)]) as f:
+        x, t, n = f.args
+        omp = OpenMP(b)
+        with omp.parallel(captured=[x, t, n]) as (tid, nth, env):
+            with omp.for_(0, env[n], simd=True) as i:
+                b.store(b.load(env[x], i) * 2.0, env[t], i)
+            with omp.for_(0, env[n], simd=True) as i:
+                v = b.load(env[t], i)
+                b.store(v * v, env[x], i)
+    grad = autodiff(b.module, "k", [Duplicated, Duplicated, None])
+    for nt in (1, 2, 4):
+        x0 = np.arange(1.0, 5.0)
+        dx = np.zeros(4)
+        dt_ = np.zeros(4)
+        seed_x = np.ones(4)
+        # x is in-place input & output: its shadow is both seed and grad
+        ex = Executor(b.module, ExecConfig(num_threads=nt))
+        ex.run(grad, x0.copy(), seed_x, np.zeros(4), dt_, 4)
+        np.testing.assert_allclose(seed_x, 8.0 * x0)  # d(4x^2)/dx
+
+
+def test_while_inside_fork_rejected_with_diagnostic():
+    """Dynamic-trip loops inside parallel regions would need per-thread
+    dynamic caches; the planner refuses with a clear diagnostic (a
+    documented limitation — none of the paper's applications nest a
+    convergence loop inside an OpenMP region either)."""
+    from repro.ad import PlanError
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("out", Ptr())]) as f:
+        x, out = f.args
+        omp = OpenMP(b)
+        with omp.parallel(captured=[x, out]) as (tid, nth, env):
+            with b.if_(b.cmp("eq", tid, 0)):
+                est = b.alloc(1)
+                b.store(b.load(env[x], 0), est, 0)
+                with b.while_() as it:
+                    e = b.load(est, 0)
+                    nxt = 0.5 * (e + b.load(env[x], 0) / e)
+                    b.store(nxt, est, 0)
+                    b.loop_while(b.abs(nxt - e) > 1e-12)
+                b.store(b.load(est, 0), env[out], 0)
+    with pytest.raises(PlanError, match="parallel region"):
+        autodiff(b.module, "k", [Duplicated, Duplicated])
+
+
+def test_deep_nest_for_for_if():
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n) as i:
+            with b.for_(0, n) as j:
+                idx = i * n + j
+                v = b.load(x, idx)
+                with b.if_(v > 0.0):
+                    b.store(b.sqrt(v), x, idx)
+    grad = autodiff(b.module, "k", [Duplicated, None])
+    n = 3
+    x0 = np.array([4.0, -1.0, 9.0, 16.0, -4.0, 25.0, 1.0, 36.0, -9.0])
+    dx = np.ones(9)
+    Executor(b.module).run(grad, x0.copy(), dx, n)
+    expect = np.where(x0 > 0, 0.5 / np.sqrt(np.abs(x0)), 1.0)
+    np.testing.assert_allclose(dx, expect)

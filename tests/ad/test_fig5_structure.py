@@ -1,0 +1,82 @@
+"""Fig. 5: structural checks of the generated MPI adjoint code."""
+
+import numpy as np
+import pytest
+
+from repro.ad import Duplicated, autodiff
+from repro.ir import I64, IRBuilder, Ptr
+
+
+def _calls(fn, name):
+    return [op for op in fn.walk() if op.opcode == "call"
+            and op.attrs["callee"] == name]
+
+
+def test_fig5_shadow_request_protocol():
+    b = IRBuilder()
+    with b.function("send_side", [("data", Ptr()), ("n", I64)]) as f:
+        data, n = f.args
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            r = b.call("mpi.isend", data, n, 1, 5)
+            b.call("mpi.wait", r)
+        with b.else_():
+            tmp = b.alloc(n)
+            r = b.call("mpi.irecv", tmp, n, 0, 5)
+            b.call("mpi.wait", r)
+            with b.for_(0, n, simd=True) as i:
+                v = b.load(tmp, i)
+                b.store(v * v, data, i)
+    grad = autodiff(b.module, "send_side", [Duplicated, None])
+    g = b.module.functions[grad]
+
+    # Forward pass: the shadow request records the task kind + shadow
+    # buffer at the Isend/Irecv sites ("d_req = (ISend, d_data, ...)").
+    assert len(_calls(g, "mpid.record_send")) == 1
+    assert len(_calls(g, "mpid.record_recv")) == 1
+
+    # Reverse of Wait inspects the shadow request and posts the adjoint
+    # communication; reverse of Isend/Irecv completes it.
+    assert len(_calls(g, "mpid.reverse_wait")) == 2
+    assert len(_calls(g, "mpid.finish_send")) == 1
+    assert len(_calls(g, "mpid.finish_recv")) == 1
+
+    # "twice the number of MPI calls" (§IV-B): primal isend/irecv pair
+    # plus the adjoint pair posted inside the mpid helpers at run time.
+    assert len(_calls(g, "mpi.isend")) == 1   # primal clone (per branch)
+    assert len(_calls(g, "mpi.irecv")) == 1
+
+    # End-to-end: derivative of sum((recv)^2) w.r.t. sender data.
+    xs = [np.arange(1.0, 4.0), np.zeros(3)]
+    dxs = [np.zeros(3), np.ones(3)]
+    from repro.interp import ExecConfig
+    from repro.parallel import SimMPI
+    SimMPI(b.module, 2, ExecConfig()).run(
+        grad, lambda r: (xs[r], dxs[r], 3))
+    np.testing.assert_allclose(dxs[0], 2 * np.arange(1.0, 4.0))
+
+
+def test_wait_record_cached_per_iteration():
+    """When waits sit inside a loop, their shadow requests are cached
+    with the standard per-iteration machinery (§V-C)."""
+    from repro.ir import Request
+    b = IRBuilder()
+    with b.function("loop", [("x", Ptr()), ("n", I64),
+                             ("steps", I64)]) as f:
+        x, n, steps = f.args
+        rank = b.call("mpi.comm_rank")
+        size = b.call("mpi.comm_size")
+        tmp = b.alloc(n)
+        with b.for_(0, steps) as s:
+            r1 = b.call("mpi.isend", x, n, (rank + 1) % size, 2)
+            r2 = b.call("mpi.irecv", tmp, n, (rank + size - 1) % size, 2)
+            b.call("mpi.wait", r1)
+            b.call("mpi.wait", r2)
+            with b.for_(0, n, simd=True) as i:
+                b.store(b.load(tmp, i) * 0.9, x, i)
+    grad = autodiff(b.module, "loop", [Duplicated, None, None])
+    g = b.module.functions[grad]
+    # request-record caches are object (request-typed) buffers
+    req_caches = [op for op in g.walk() if op.opcode == "alloc"
+                  and str(op.result.type) == "ptr<request>"]
+    assert len(req_caches) >= 2

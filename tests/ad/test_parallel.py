@@ -1,0 +1,230 @@
+"""Differentiation of parallel constructs (paper §IV-A, §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.ad import ADConfig, Duplicated, autodiff
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+
+def test_parallel_for_fig4_structure():
+    """Differentiating a parallel loop yields aug + reverse parallel
+    regions (Fig. 4): exactly two parallel_for ops in the gradient."""
+    b = IRBuilder()
+    with b.function("sq", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(v * v, x, i)
+    grad = autodiff(b.module, "sq", [Duplicated, None])
+    g = b.module.functions[grad]
+    pfors = [op for op in g.walk() if op.opcode == "parallel_for"]
+    assert len(pfors) == 2
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 4, 7])
+def test_gradient_thread_count_invariant(nthreads):
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(b.exp(v * 0.2) * v, y, i)
+    grad = autodiff(b.module, "k", [Duplicated, Duplicated, None])
+    x0 = np.linspace(0.5, 2.0, 11)
+    dx = np.zeros(11)
+    Executor(b.module, ExecConfig(num_threads=nthreads)).run(
+        grad, x0.copy(), dx, np.zeros(11), np.ones(11), 11)
+    expect = np.exp(0.2 * x0) * (1 + 0.2 * x0)
+    np.testing.assert_allclose(dx, expect, rtol=1e-12)
+
+
+def test_gather_reverse_scatters_atomically():
+    """Reading x[idx[i]] in parallel reverses into scatter-adds; with
+    duplicate indices all contributions must accumulate (§IV-A)."""
+    b = IRBuilder()
+    with b.function("gath", [("x", Ptr()), ("idx", Ptr(I64)), ("y", Ptr()),
+                             ("n", I64)]) as f:
+        x, idx, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            j = b.load(idx, i)
+            v = b.load(x, j)
+            b.store(v * v, y, i)
+    grad = autodiff(b.module, "gath", [Duplicated, None, Duplicated, None])
+    x0 = np.array([3.0, 5.0])
+    idx = np.array([0, 1, 0, 0], dtype=np.int64)
+    dx = np.zeros(2)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        grad, x0.copy(), dx, idx, np.zeros(4), np.ones(4), 4)
+    # d/dx0 = 3 uses * 2*x0 ; d/dx1 = 1 use * 2*x1
+    np.testing.assert_allclose(dx, [3 * 2 * 3.0, 1 * 2 * 5.0])
+
+
+def test_gather_adjoint_uses_atomic_increment():
+    b = IRBuilder()
+    with b.function("gath2", [("x", Ptr()), ("idx", Ptr(I64)), ("y", Ptr()),
+                              ("n", I64)]) as f:
+        x, idx, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            j = b.load(idx, i)
+            b.store(b.load(x, j) * 2.0, y, i)
+    grad = autodiff(b.module, "gath2", [Duplicated, None, Duplicated, None])
+    g = b.module.functions[grad]
+    atomics = [op for op in g.walk() if op.opcode == "atomic"]
+    assert atomics, "data-dependent gather must reverse to atomic adds"
+
+
+def test_affine_access_adjoint_is_serial():
+    """x[i] accesses are iteration-disjoint: the reverse increments are
+    plain load-add-store, not atomic (§VI-A1)."""
+    b = IRBuilder()
+    with b.function("aff", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(b.load(x, i) * 2.0, y, i)
+    grad = autodiff(b.module, "aff", [Duplicated, Duplicated, None])
+    g = b.module.functions[grad]
+    atomics = [op for op in g.walk() if op.opcode == "atomic"]
+    assert not atomics
+
+
+def test_strided_access_adjoint_is_serial():
+    b = IRBuilder()
+    with b.function("str", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i * 2 + 1)
+            b.store(v * v, y, i)
+    grad = autodiff(b.module, "str", [Duplicated, Duplicated, None])
+    g = b.module.functions[grad]
+    assert not [op for op in g.walk() if op.opcode == "atomic"]
+    x0 = np.arange(1.0, 9.0)
+    dx = np.zeros(8)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        grad, x0.copy(), dx, np.zeros(4), np.ones(4), 4)
+    expect = np.zeros(8)
+    expect[1::2] = 2 * x0[1::2]
+    np.testing.assert_allclose(dx, expect)
+
+
+def test_uniform_location_uses_reduction():
+    """Every iteration reads the same cell: the reverse increment uses
+    the registered reduction, not an atomic (§VI-A1)."""
+    b = IRBuilder()
+    with b.function("uni", [("s", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        s, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(b.load(s, 0) * b.itof(i), y, i)
+    grad = autodiff(b.module, "uni", [Duplicated, Duplicated, None])
+    g = b.module.functions[grad]
+    reductions = [op for op in g.walk() if op.opcode == "atomic"
+                  and op.attrs.get("via") == "reduction"]
+    assert reductions
+    s = np.array([2.0])
+    ds = np.zeros(1)
+    Executor(b.module, ExecConfig(num_threads=4)).run(
+        grad, s, ds, np.zeros(5), np.ones(5), 5)
+    assert ds[0] == pytest.approx(sum(range(5)))
+
+
+def test_atomic_everywhere_ablation():
+    """§VI-A1: falling back to atomics everywhere is legal (same
+    values), just slower (more atomic ops)."""
+    results = {}
+    for atomic_everywhere in (False, True):
+        b = IRBuilder()
+        with b.function("k", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+            x, y, n = f.args
+            with b.parallel_for(0, n) as i:
+                v = b.load(x, i)
+                b.store(v * v * v, y, i)
+        grad = autodiff(b.module, "k", [Duplicated, Duplicated, None],
+                        ADConfig(atomic_everywhere=atomic_everywhere))
+        x0 = np.arange(1.0, 6.0)
+        dx = np.zeros(5)
+        ex = Executor(b.module, ExecConfig(num_threads=2))
+        ex.run(grad, x0.copy(), dx, np.zeros(5), np.ones(5), 5)
+        results[atomic_everywhere] = (dx.copy(), ex.cost.atomic_ops)
+    np.testing.assert_allclose(results[False][0], results[True][0])
+    assert results[True][1] > results[False][1]
+
+
+def test_thread_local_alloc_serial_increment():
+    """Shadows of allocations inside the parallel body are thread-local:
+    serial increments (§VI-A1)."""
+    b = IRBuilder()
+    with b.function("tl", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            scratch = b.alloc(1)
+            b.store(b.load(x, i) * 3.0, scratch, 0)
+            s = b.load(scratch, 0)
+            b.store(s * s, y, i)
+    grad = autodiff(b.module, "tl", [Duplicated, Duplicated, None])
+    x0 = np.arange(1.0, 5.0)
+    dx = np.zeros(4)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        grad, x0.copy(), dx, np.zeros(4), np.ones(4), 4)
+    np.testing.assert_allclose(dx, 18.0 * x0)  # y=9x^2
+
+
+def test_two_parallel_regions_dependency():
+    """Second region consumes the first's output; reverse order flips."""
+    b = IRBuilder()
+    with b.function("two", [("x", Ptr()), ("t", Ptr()), ("y", Ptr()),
+                            ("n", I64)]) as f:
+        x, t, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(b.load(x, i) * 2.0, t, i)
+        with b.parallel_for(0, n) as i:
+            v = b.load(t, i)
+            b.store(v * v, y, i)
+    grad = autodiff(b.module, "two", [Duplicated, Duplicated, Duplicated,
+                                      None])
+    x0 = np.arange(1.0, 4.0)
+    dx = np.zeros(3)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        grad, x0.copy(), dx, np.zeros(3), np.zeros(3), np.zeros(3),
+        np.ones(3), 3)
+    np.testing.assert_allclose(dx, 8.0 * x0)  # y = 4x^2
+
+
+def test_spawn_wait_reversal():
+    """§IV-A: the primal sync becomes an adjoint spawn and vice versa."""
+    b = IRBuilder()
+    with b.function("tk", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.spawn() as t:
+            with b.for_(0, n, simd=True) as i:
+                v = b.load(x, i)
+                b.store(v * v, x, i)
+        b.call("task.wait", t)
+    grad = autodiff(b.module, "tk", [Duplicated, None])
+    g = b.module.functions[grad]
+    spawns = [op for op in g.walk() if op.opcode == "spawn"]
+    waits = [op for op in g.walk() if op.opcode == "call"
+             and op.attrs["callee"] == "task.wait"]
+    assert len(spawns) == 2 and len(waits) == 2
+    x0 = np.arange(1.0, 5.0)
+    dx = np.ones(4)
+    Executor(b.module, ExecConfig(num_threads=2)).run(grad, x0.copy(), dx, 4)
+    np.testing.assert_allclose(dx, 2 * x0)
+
+
+def test_vector_if_inside_parallel_gradient():
+    b = IRBuilder()
+    with b.function("vif", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            with b.if_(v > 1.0):
+                b.store(v * v, y, i)
+            with b.else_():
+                b.store(v * 0.5, y, i)
+    grad = autodiff(b.module, "vif", [Duplicated, Duplicated, None])
+    x0 = np.array([0.5, 2.0, 1.5, 0.2])
+    dx = np.zeros(4)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        grad, x0.copy(), dx, np.zeros(4), np.ones(4), 4)
+    np.testing.assert_allclose(dx, [0.5, 4.0, 3.0, 0.5])

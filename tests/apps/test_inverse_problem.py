@@ -1,0 +1,77 @@
+"""Integration: use the LULESH gradient for an inverse problem.
+
+The paper motivates AD with "gradient-based optimization [and] inverse
+problems" (§I).  Here we recover an initial-energy perturbation from
+the final state: gradient descent with the Enzyme-generated adjoint
+must reduce the data-misfit loss monotonically — an end-to-end check
+that the derivative is not just FD-consistent but *useful*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lulesh import LuleshApp
+
+
+def _loss_and_grad(app, e_init, target_e, steps):
+    doms = app.make_domains()
+    doms[0]["e"][...] = e_init
+    g = app.params.gamma
+    doms[0]["p"][...] = np.maximum((g - 1) * doms[0]["e"] / doms[0]["v"],
+                                   0.0)
+    app.run_forward(doms, steps)
+    resid = doms[0]["e"] - target_e
+    loss = 0.5 * float(resid @ resid)
+
+    # reverse pass with the loss adjoint as the energy seed
+    doms = app.make_domains()
+    doms[0]["e"][...] = e_init
+    doms[0]["p"][...] = np.maximum((g - 1) * doms[0]["e"] / doms[0]["v"],
+                                   0.0)
+    shadows = [d.shadow_arrays(0.0) for d in doms]
+    # d(loss)/d(final e) = resid.
+    shadows[0]["e"][...] = resid
+    app.run_gradient(doms, steps, 1, shadows)
+    # Total derivative w.r.t. the initial energy includes the chain
+    # through the EOS-consistent initial pressure p0 = (γ-1) e0 / v0
+    # (applied in the NumPy setup, outside the differentiated function).
+    total = shadows[0]["e"] + shadows[0]["p"] * (g - 1) / doms[0]["v"]
+    return loss, total
+
+
+@pytest.mark.slow
+def test_gradient_descent_recovers_energy():
+    app = LuleshApp("serial", nx=2)
+    steps = 3
+
+    # ground truth: base Sedov + a bump in element 5
+    doms = app.make_domains()
+    true_e = doms[0]["e"].copy()
+    true_e[5] += 2000.0
+    target_doms = app.make_domains()
+    target_doms[0]["e"][...] = true_e
+    g = app.params.gamma
+    target_doms[0]["p"][...] = np.maximum(
+        (g - 1) * target_doms[0]["e"] / target_doms[0]["v"], 0.0)
+    app.run_forward(target_doms, steps)
+    target_final_e = target_doms[0]["e"].copy()
+
+    # start from the unperturbed Sedov state
+    e_init = app.make_domains()[0]["e"].copy()
+    losses = []
+    lr = 0.4
+    for it in range(12):
+        loss, grad = _loss_and_grad(app, e_init, target_final_e, steps)
+        losses.append(loss)
+        e_init = e_init - lr * grad
+    final_loss, _ = _loss_and_grad(app, e_init, target_final_e, steps)
+    losses.append(final_loss)
+
+    assert losses[-1] < 1e-3 * losses[0], losses
+    # monotone decrease (smooth quadratic-ish misfit at this scale)
+    assert all(b <= a * 1.001 for a, b in zip(losses, losses[1:]))
+    # the recovered bump is in the right element
+    doms0 = app.make_domains()
+    delta = e_init - doms0[0]["e"]
+    assert np.argmax(np.abs(delta)) == 5
+    assert delta[5] == pytest.approx(2000.0, rel=0.05)

@@ -1,0 +1,152 @@
+"""Frontend lowering tests: OpenMP closures, RAJA, Julia constructs."""
+
+import numpy as np
+import pytest
+
+from repro.ad import Duplicated, autodiff
+from repro.frontends import Julia, OpenMP, RAJA
+from repro.frontends.raja import ReduceMin
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+from ..conftest import run_verified
+
+
+def test_openmp_parallel_for_lowering_shape():
+    """#pragma omp parallel for lowers to fork + reload + workshare
+    (paper Fig. 3)."""
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        omp = OpenMP(b)
+        with omp.parallel_for(0, n, captured=[x, n]) as (i, env):
+            b.store(b.load(env[x], i) + 1.0, env[x], i)
+    fn = b.module.functions["k"]
+    forks = [op for op in fn.walk() if op.opcode == "fork"]
+    assert len(forks) == 1
+    ws = [op for op in forks[0].walk() if op.opcode == "for"
+          and op.attrs.get("workshare")]
+    assert len(ws) == 1
+    # closure record: context stores before the fork
+    ctx_stores = [op for op in fn.body.ops if op.opcode == "store"]
+    assert len(ctx_stores) == 2  # one pointer, one i64
+    verify_module(b.module)
+
+
+def test_openmp_mixed_capture_types():
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("ix", Ptr(I64)), ("s", F64),
+                          ("n", I64)]) as f:
+        x, ix, s, n = f.args
+        omp = OpenMP(b)
+        with omp.parallel_for(0, n, captured=[x, ix, s, n]) as (i, env):
+            j = b.load(env[ix], i)
+            b.store(b.load(env[x], j) * env[s], env[x], j)
+    xs = np.arange(1.0, 5.0)
+    idx = np.array([3, 2, 1, 0], dtype=np.int64)
+    run_verified(b, "k", xs, idx, 2.0, 4, num_threads=2)
+    np.testing.assert_allclose(xs, 2 * np.arange(1.0, 5.0))
+
+
+def test_openmp_nowait_and_barrier_combination():
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        omp = OpenMP(b)
+        with omp.parallel(captured=[x, n]) as (tid, nth, env):
+            with omp.for_(0, env[n], nowait=True) as i:
+                b.store(1.0, env[x], i)
+            omp.barrier()
+            with omp.for_(0, env[n]) as i:
+                b.store(b.load(env[x], i) + 1.0, env[x], i)
+    xs = np.zeros(6)
+    run_verified(b, "k", xs, 6, num_threads=3)
+    np.testing.assert_allclose(xs, 2.0)
+
+
+def test_raja_forall_is_openmp_lowering():
+    """§V-D: RAJA needs zero AD support because it *is* the lowering."""
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        raja = RAJA(b)
+        with raja.forall(0, n, captured=[x, n]) as (i, env):
+            b.store(b.load(env[x], i) * 3.0, env[x], i)
+    fn = b.module.functions["k"]
+    assert any(op.opcode == "fork" for op in fn.walk())
+    grad = autodiff(b.module, "k", [Duplicated, None])
+    xs = np.ones(5)
+    dxs = np.ones(5)
+    Executor(b.module, ExecConfig(num_threads=2)).run(grad, xs, dxs, 5)
+    np.testing.assert_allclose(dxs, 3.0)
+
+
+def test_raja_reduce_min_values_and_gradient():
+    b = IRBuilder()
+    with b.function("rmin", [("d", Ptr()), ("out", Ptr()), ("n", I64)]) as f:
+        d, out, n = f.args
+        raja = RAJA(b)
+        rm = ReduceMin(raja, b.const(1e30))
+        with raja.forall_reduce(0, n, [rm], captured=[d, n]) as (i, env):
+            raja.reduce_min(rm, b.load(env[d], i))
+        b.store(rm.get(), out, 0)
+    data = np.array([4.0, 1.25, 9.0, 2.0, 8.0])
+    out = np.zeros(1)
+    run_verified(b, "rmin", data, out, 5, num_threads=3)
+    assert out[0] == 1.25
+    grad = autodiff(b.module, "rmin", [Duplicated, Duplicated, None])
+    data = np.array([4.0, 1.25, 9.0, 2.0, 8.0])
+    dd, out, dout = np.zeros(5), np.zeros(1), np.ones(1)
+    Executor(b.module, ExecConfig(num_threads=3)).run(
+        grad, data, dd, out, dout, 5)
+    expect = np.zeros(5)
+    expect[1] = 1.0
+    np.testing.assert_allclose(dd, expect)
+
+
+def test_julia_arrays_and_arrayptr():
+    b = IRBuilder()
+    with b.function("k", [("out", Ptr()), ("n", I64)]) as f:
+        out, n = f.args
+        jl = Julia(b)
+        arr = jl.zeros(n)
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.itof(i) * 2.0, arr.data(), i)
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.load(arr.data(), i), out, i)
+    out = np.zeros(4)
+    run_verified(b, "k", out, 4)
+    np.testing.assert_allclose(out, [0, 2, 4, 6])
+
+
+def test_julia_threads_for_covers_range():
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        jl = Julia(b)
+        with jl.threads_for(0, n, 3) as i:
+            b.store(b.load(x, i) + 1.0, x, i)
+    xs = np.zeros(10)
+    run_verified(b, "k", xs, 10, num_threads=3)
+    np.testing.assert_allclose(xs, 1.0)
+
+
+def test_julia_mpi_symbol_table():
+    from repro.frontends import MPI_SYMBOLS
+    assert MPI_SYMBOLS["MPI.Isend"] == "mpi.isend"
+    assert MPI_SYMBOLS["MPI.Allreduce!"] == "mpi.allreduce"
+
+
+def test_julia_gc_preserve_context_manager():
+    b = IRBuilder()
+    with b.function("k", [("out", Ptr())]) as f:
+        out = f.args[0]
+        jl = Julia(b)
+        arr = jl.zeros(2)
+        with jl.gc_preserve(arr):
+            jl.safepoint()
+            b.store(5.0, arr.data(), 0)
+            b.store(b.load(arr.data(), 0), out, 0)
+    out = np.zeros(1)
+    _, ex = run_verified(b, "k", out, gc_stress=True)
+    assert out[0] == 5.0

@@ -1,0 +1,116 @@
+"""User-function calls, recursion guards, and event plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, InterpreterError
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+from ..conftest import run_verified
+
+
+def test_call_inside_parallel_body_vectorizes():
+    b = IRBuilder()
+    with b.function("helper", [("v", F64)], ret=F64) as f:
+        v = f.args[0]
+        b.ret(b.sin(v) * v)
+    with b.function("main", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(b.call("helper", b.load(x, i)), x, i)
+    xs = np.linspace(0.1, 1.0, 8)
+    expect = np.sin(xs) * xs
+    run_verified(b, "main", xs, 8, num_threads=2)
+    np.testing.assert_allclose(xs, expect)
+
+
+def test_nested_calls():
+    b = IRBuilder()
+    with b.function("inner", [("v", F64)], ret=F64) as f:
+        b.ret(f.args[0] + 1.0)
+    with b.function("outer", [("v", F64)], ret=F64) as f:
+        b.ret(b.call("inner", f.args[0]) * 2.0)
+    with b.function("main", [("v", F64)], ret=F64) as f:
+        b.ret(b.call("outer", f.args[0]))
+    out, _ = run_verified(b, "main", 3.0)
+    assert out == 8.0
+
+
+def test_recursion_depth_guard():
+    b = IRBuilder()
+    with b.function("rec", [("v", F64)], ret=F64) as f:
+        # unconditionally recursive: must trip the depth guard
+        b.ret(b.call("rec", f.args[0]))
+    verify_module(b.module)
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="depth"):
+        ex.run("rec", 1.0)
+
+
+def test_mpi_without_engine_raises():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr())]) as f:
+        b.call("mpi.send", f.args[0], 1, 0, 0)
+    verify_module(b.module)
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="SimMPI"):
+        ex.run("m", np.zeros(1))
+
+
+def test_mpi_inside_parallel_region_rejected():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.call("mpi.barrier")
+    verify_module(b.module)
+    from repro.parallel import mpi_run
+    with pytest.raises(InterpreterError, match="parallel region"):
+        mpi_run(b.module, "m", 2, lambda r: (np.zeros(2), 2))
+
+
+def test_mpi_inside_spawn_rejected():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr())]) as f:
+        with b.spawn() as t:
+            b.call("mpi.barrier")
+        b.call("task.wait", t)
+    verify_module(b.module)
+    from repro.parallel import mpi_run
+    with pytest.raises(InterpreterError, match="parallel region|task"):
+        mpi_run(b.module, "m", 2, lambda r: (np.zeros(1),))
+
+
+def test_unknown_intrinsic_handler():
+    from repro.ir.function import IntrinsicInfo
+    from repro.ir.types import Void
+    b = IRBuilder()
+    b.module.register_intrinsic(IntrinsicInfo("weird.op", [], Void))
+    with b.function("m", []) as f:
+        b.call("weird.op")
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="no handler"):
+        ex.run("m")
+
+
+def test_argument_count_mismatch():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr()), ("n", I64)]) as f:
+        pass
+    ex = Executor(b.module)
+    with pytest.raises(TypeError, match="arguments"):
+        ex.run("m", np.zeros(1))
+
+
+def test_executor_reset_clock():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.sin(b.load(x, i)), x, i)
+    ex = Executor(b.module)
+    ex.run("m", np.ones(100), 100)
+    assert ex.clock > 0
+    ex.reset_clock()
+    assert ex.clock == 0.0
+    assert ex.cost.is_zero()

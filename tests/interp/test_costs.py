@@ -1,0 +1,124 @@
+"""Cost accounting: the interpreter's abstract counters."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr
+
+from ..conftest import run_verified
+
+
+def _run_and_cost(build, *args, num_threads=1):
+    b = IRBuilder()
+    build(b)
+    fn = next(iter(b.module.functions))
+    _r, ex = run_verified(b, fn, *args, num_threads=num_threads)
+    return ex.cost, ex.clock
+
+
+def test_flop_count_exact():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+            x, n = f.args
+            with b.parallel_for(0, n) as i:
+                v = b.load(x, i)
+                b.store(v * v + v, x, i)  # 2 flops per element
+    cost, _ = _run_and_cost(build, np.ones(10), 10)
+    assert cost.flops == 20
+    assert cost.load_bytes == 80
+    assert cost.store_bytes == 80
+
+
+def test_special_and_div_classes():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+            x, n = f.args
+            with b.parallel_for(0, n) as i:
+                v = b.load(x, i)
+                b.store(b.sin(v) / b.sqrt(v + 1.0), x, i)
+    cost, _ = _run_and_cost(build, np.ones(8), 8)
+    assert cost.specials == 8     # sin
+    assert cost.divs == 16        # sqrt + div
+    assert cost.flops == 8        # the add
+
+
+def test_masked_lanes_not_charged():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+            x, n = f.args
+            with b.parallel_for(0, n) as i:
+                v = b.load(x, i)
+                with b.if_(v > 0.0):
+                    b.store(b.exp(v), x, i)
+    xs = np.array([1.0, -1.0, 1.0, -1.0])
+    cost, _ = _run_and_cost(build, xs, 4)
+    assert cost.specials == 2     # only active lanes pay for exp
+
+
+def test_atomic_counter():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("out", Ptr()), ("n", I64)]) as f:
+            x, out, n = f.args
+            with b.parallel_for(0, n) as i:
+                b.atomic_add(b.load(x, i), out, 0)
+    cost, _ = _run_and_cost(build, np.ones(6), np.zeros(1), 6)
+    assert cost.atomic_ops == 6
+
+
+def test_clock_monotone_with_work():
+    def build_n(b, reps):
+        with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+            x, n = f.args
+            with b.parallel_for(0, n) as i:
+                v = b.load(x, i)
+                for _ in range(reps):
+                    v = b.sin(v)
+                b.store(v, x, i)
+
+    def clock(reps):
+        b = IRBuilder()
+        build_n(b, reps)
+        _r, ex = run_verified(b, "f", np.ones(1000), 1000)
+        return ex.clock
+
+    assert clock(8) > clock(2) > 0
+
+
+def test_parallel_region_faster_than_serial_region():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(b.sin(v) + b.cos(v) * b.exp(v), x, i)
+    from repro.ir import verify_module
+    verify_module(b.module)
+    times = {}
+    for nt in (1, 8):
+        ex = Executor(b.module, ExecConfig(num_threads=nt))
+        ex.run("f", np.ones(20000), 20000)
+        times[nt] = ex.clock
+    assert times[8] < times[1] / 3
+
+
+def test_stream_buffers_counted_separately():
+    from repro.ir.ops import AllocOp
+    b = IRBuilder()
+    with b.function("f", [("n", I64)]) as f:
+        n = f.args[0]
+        buf = b.alloc(n, name="c")
+        buf.op.attrs["stream"] = True
+        with b.for_(0, n, simd=True) as i:
+            b.store(1.0, buf, i)
+    _r, ex = run_verified(b, "f", 16)
+    assert ex.cost.stream_bytes == 16 * 8
+    assert ex.cost.store_bytes == 0
+
+
+def test_gc_alloc_pays_zero_fill():
+    b = IRBuilder()
+    with b.function("f", [("n", I64)]) as f:
+        b.alloc(f.args[0], space="gc")
+    _r, ex = run_verified(b, "f", 64)
+    assert ex.cost.stream_bytes == 64 * 8

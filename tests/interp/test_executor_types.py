@@ -1,0 +1,66 @@
+"""Executor argument wrapping across element types."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I1, I64, IRBuilder, Ptr, Task, verify_module
+
+
+def test_bool_buffers():
+    b = IRBuilder()
+    with b.function("m", [("mask", Ptr(I1)), ("x", Ptr()), ("n", I64)]) as f:
+        mask, x, n = f.args
+        with b.for_(0, n, simd=True) as i:
+            m = b.load(mask, i)
+            b.store(b.select(m, b.load(x, i), 0.0), x, i)
+    verify_module(b.module)
+    xs = np.arange(1.0, 5.0)
+    mk = np.array([True, False, True, False])
+    Executor(b.module).run("m", mk, xs, 4)
+    np.testing.assert_allclose(xs, [1.0, 0.0, 3.0, 0.0])
+
+
+def test_int_buffers_and_results():
+    b = IRBuilder()
+    with b.function("c", [("idx", Ptr(I64)), ("n", I64)], ret=I64) as f:
+        idx, n = f.args
+        acc = b.alloc(1, I64)
+        with b.for_(0, n) as i:
+            b.store(b.load(acc, 0) + b.load(idx, i), acc, 0)
+        b.ret(b.load(acc, 0))
+    out = Executor(b.module).run("c", np.array([3, 5, 9], dtype=np.int64),
+                                 3)
+    assert out == 17
+
+
+def test_object_buffers_for_handles():
+    b = IRBuilder()
+    with b.function("t", [("tasks", Ptr(Task)), ("x", Ptr())]) as f:
+        tasks, x = f.args
+        with b.spawn() as t:
+            b.store(4.0, x, 0)
+        b.store(t, tasks, 0)
+        b.call("task.wait", b.load(tasks, 0))
+    xs = np.zeros(1)
+    Executor(b.module, ExecConfig(num_threads=2)).run(
+        "t", np.empty(1, dtype=object), xs)
+    assert xs[0] == 4.0
+
+
+def test_multidim_array_rejected():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr())]) as f:
+        pass
+    with pytest.raises(TypeError, match="1-D"):
+        Executor(b.module).run("m", np.zeros((2, 2)))
+
+
+def test_scalar_coercions():
+    b = IRBuilder()
+    with b.function("s", [("a", F64), ("k", I64), ("flag", I1)],
+                    ret=F64) as f:
+        a, k, flag = f.args
+        b.ret(b.select(flag, a * b.itof(k), 0.0))
+    out = Executor(b.module).run("s", 2, 3, 1)   # int->float, bool coercion
+    assert out == 6.0

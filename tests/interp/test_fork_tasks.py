@@ -1,0 +1,158 @@
+"""Fork regions (barriers, worksharing) and task spawn/wait."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, InterpreterError
+from repro.ir import F64, I64, IRBuilder, Ptr, Task, verify_module
+
+from ..conftest import run_verified
+
+
+def test_fork_tid_nthreads():
+    b = IRBuilder()
+    with b.function("ids", [("out", Ptr()), ("nt", Ptr())]) as f:
+        out, ntp = f.args
+        with b.fork(4) as (tid, nth):
+            b.store(b.itof(tid), out, tid)
+            b.store(b.itof(nth), ntp, 0)
+    out = np.zeros(4)
+    nt = np.zeros(1)
+    run_verified(b, "ids", out, nt)
+    np.testing.assert_allclose(out, [0, 1, 2, 3])
+    assert nt[0] == 4
+
+
+def test_fork_default_thread_count():
+    b = IRBuilder()
+    with b.function("dflt", [("out", Ptr())]) as f:
+        with b.fork(0) as (tid, nth):
+            b.store(1.0, f.args[0], tid)
+    out = np.zeros(8)
+    run_verified(b, "dflt", out, num_threads=3)
+    assert out.sum() == 3
+
+
+def test_barrier_phases_communicate():
+    """Thread 0 reads data written by all threads after a barrier."""
+    b = IRBuilder()
+    with b.function("ph", [("buf", Ptr()), ("total", Ptr())]) as f:
+        buf, total = f.args
+        with b.fork(4) as (tid, nth):
+            b.store(b.itof(tid) + 1.0, buf, tid)
+            b.barrier()
+            with b.if_(b.cmp("eq", tid, 0)):
+                acc = b.alloc(1)
+                with b.for_(0, nth) as t:
+                    b.store(b.load(acc, 0) + b.load(buf, t), acc, 0)
+                b.store(b.load(acc, 0), total, 0)
+    buf, total = np.zeros(4), np.zeros(1)
+    run_verified(b, "ph", buf, total)
+    assert total[0] == 1 + 2 + 3 + 4
+
+
+def test_workshare_covers_range_once():
+    b = IRBuilder()
+    with b.function("ws", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.fork(3) as (tid, nth):
+            with b.workshare(0, n) as i:
+                v = b.load(x, i)
+                b.store(v + 1.0, x, i)
+    xs = np.zeros(10)
+    run_verified(b, "ws", xs, 10)
+    np.testing.assert_allclose(xs, 1.0)  # each index exactly once
+
+
+def test_workshare_nowait_and_barrier():
+    b = IRBuilder()
+    with b.function("wsn", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.fork(2) as (tid, nth):
+            with b.workshare(0, n, nowait=True) as i:
+                b.store(1.0, x, i)
+            b.barrier()
+            with b.workshare(0, n) as i:
+                b.store(b.load(x, i) * 2.0, x, i)
+    xs = np.zeros(6)
+    run_verified(b, "wsn", xs, 6)
+    np.testing.assert_allclose(xs, 2.0)
+
+
+def test_more_threads_than_iterations():
+    b = IRBuilder()
+    with b.function("mt", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.fork(8) as (tid, nth):
+            with b.workshare(0, n) as i:
+                b.store(5.0, x, i)
+    xs = np.zeros(3)
+    run_verified(b, "mt", xs, 3)
+    np.testing.assert_allclose(xs, 5.0)
+
+
+def test_spawn_wait_basic():
+    b = IRBuilder()
+    with b.function("tw", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.spawn() as t1:
+            with b.for_(0, n, simd=True) as i:
+                b.store(b.load(x, i) * 2.0, x, i)
+        b.wait_task(t1)
+    xs = np.arange(1.0, 5.0)
+    run_verified(b, "tw", xs, 4)
+    np.testing.assert_allclose(xs, 2 * np.arange(1.0, 5.0))
+
+
+def test_task_array_chunked():
+    b = IRBuilder()
+    with b.function("chunks", [("x", Ptr()), ("n", I64), ("c", I64)]) as f:
+        x, n, c = f.args
+        tasks = b.alloc(c, Task)
+        per = (n + c - 1) // c
+        with b.for_(0, c) as w:
+            lo = w * per
+            hi = b.min(lo + per, n)
+            with b.spawn() as t:
+                with b.for_(lo, hi, simd=True) as i:
+                    b.store(b.load(x, i) + 1.0, x, i)
+            b.store(t, tasks, w)
+        with b.for_(0, c) as w:
+            b.call("task.wait", b.load(tasks, w))
+    xs = np.zeros(11)
+    run_verified(b, "chunks", xs, 11, 4, num_threads=4)
+    np.testing.assert_allclose(xs, 1.0)
+
+
+def test_task_scheduler_makespan():
+    """Two independent equal tasks on two workers finish ~in parallel."""
+    b = IRBuilder()
+    with b.function("par2", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        tasks = b.alloc(2, Task)
+        for w in (0, 1):
+            with b.spawn() as t:
+                with b.for_(w * 500, (w + 1) * 500, simd=True) as i:
+                    b.store(b.sin(b.load(x, i)), x, i)
+            b.store(t, tasks, w)
+        with b.for_(0, 2) as w:
+            b.call("task.wait", b.load(tasks, w))
+    verify_module(b.module)
+    xs = np.ones(1000)
+    ex2 = Executor(b.module, ExecConfig(num_threads=2))
+    ex2.run("par2", xs.copy(), 1000)
+    t2 = ex2.clock
+    ex1 = Executor(b.module, ExecConfig(num_threads=1))
+    ex1.run("par2", xs.copy(), 1000)
+    t1 = ex1.clock
+    assert t2 < 0.75 * t1  # real speedup in simulated time
+
+
+def test_wait_on_non_task_errors():
+    b = IRBuilder()
+    with b.function("bad", [("x", Ptr(Task))]) as f:
+        b.call("task.wait", b.load(f.args[0], 0))
+    verify_module(b.module)
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="task"):
+        ex.run("bad", np.empty(1, dtype=object))

@@ -1,0 +1,176 @@
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, InterpreterError
+from repro.ir import F64, I64, IRBuilder, Ptr
+
+from ..conftest import run_verified
+
+
+def test_scalar_arith():
+    b = IRBuilder()
+    with b.function("f", [("a", F64), ("c", F64)], ret=F64) as f:
+        a, c = f.args
+        b.ret(a * a + b.sqrt(c) - 1.0)
+    out, _ = run_verified(b, "f", 3.0, 16.0)
+    assert out == pytest.approx(9.0 + 4.0 - 1.0)
+
+
+def test_integer_ops():
+    b = IRBuilder()
+    with b.function("g", [("k", I64)], ret=F64) as f:
+        k = f.args[0]
+        q = (k * 3 + 1) // 2
+        r = k % 4
+        b.ret(b.itof(q + r))
+    out, _ = run_verified(b, "g", 9)
+    assert out == ((9 * 3 + 1) // 2 + 9 % 4)
+
+
+def test_serial_loop_accumulation():
+    b = IRBuilder()
+    with b.function("sumsq", [("x", Ptr()), ("n", I64)], ret=F64) as f:
+        x, n = f.args
+        acc = b.alloc(1)
+        with b.for_(0, n) as i:
+            v = b.load(x, i)
+            b.store(b.load(acc, 0) + v * v, acc, 0)
+        b.ret(b.load(acc, 0))
+    xs = np.arange(1.0, 6.0)
+    out, _ = run_verified(b, "sumsq", xs, 5)
+    assert out == pytest.approx((xs ** 2).sum())
+
+
+def test_loop_with_step():
+    b = IRBuilder()
+    with b.function("evens", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n, step=2) as i:
+            b.store(1.0, x, i)
+    xs = np.zeros(7)
+    run_verified(b, "evens", xs, 7)
+    np.testing.assert_array_equal(xs, [1, 0, 1, 0, 1, 0, 1])
+
+
+def test_if_else():
+    b = IRBuilder()
+    with b.function("clamp", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n) as i:
+            v = b.load(x, i)
+            with b.if_(v > 1.0):
+                b.store(1.0, x, i)
+            with b.else_():
+                b.store(v * 2.0, x, i)
+    xs = np.array([0.2, 3.0, 0.5])
+    run_verified(b, "clamp", xs, 3)
+    np.testing.assert_allclose(xs, [0.4, 1.0, 1.0])
+
+
+def test_while_loop():
+    b2 = IRBuilder()
+    with b2.function("halve", [("x", Ptr()), ("cnt", Ptr(I64))]) as f:
+        x, cnt = f.args
+        with b2.while_() as it:
+            v = b2.load(x, 0)
+            b2.store(v * 0.5, x, 0)
+            b2.store(it + 1, cnt, 0)
+            b2.loop_while(b2.load(x, 0) > 1.0)
+    xs = np.array([37.0])
+    cnt = np.zeros(1, dtype=np.int64)
+    run_verified(b2, "halve", xs, cnt)
+    assert xs[0] <= 1.0
+    assert cnt[0] == 6  # 37 -> ... -> 0.578 after 6 halvings
+
+
+def test_while_iteration_guard():
+    b = IRBuilder()
+    with b.function("spin", [("x", Ptr())]) as f:
+        with b.while_() as it:
+            b.loop_while(b.cmp("ge", it, 0))  # never terminates
+    from repro.ir import verify_module
+    verify_module(b.module)
+    ex = Executor(b.module, ExecConfig(max_while_iters=100))
+    with pytest.raises(InterpreterError, match="iterations"):
+        ex.run("spin", np.zeros(1))
+
+
+def test_user_function_call():
+    b = IRBuilder()
+    with b.function("helper", [("a", F64)], ret=F64) as f:
+        b.ret(f.args[0] * 3.0)
+    with b.function("main", [("a", F64)], ret=F64) as f:
+        r = b.call("helper", f.args[0])
+        b.ret(r + 1.0)
+    out, _ = run_verified(b, "main", 2.0)
+    assert out == pytest.approx(7.0)
+
+
+def test_memset_memcpy():
+    b = IRBuilder()
+    with b.function("mm", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        b.memset(x, 2.5, n)
+        b.memcpy(y, x, n)
+    xs, ys = np.zeros(4), np.zeros(4)
+    run_verified(b, "mm", xs, ys, 4)
+    np.testing.assert_allclose(ys, 2.5)
+
+
+def test_ptradd_subbuffer():
+    b = IRBuilder()
+    with b.function("sub", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        mid = b.ptradd(x, 2)
+        b.store(9.0, mid, 0)
+        b.store(8.0, mid, 1)
+    xs = np.zeros(5)
+    run_verified(b, "sub", xs, 5)
+    np.testing.assert_allclose(xs, [0, 0, 9, 8, 0])
+
+
+def test_out_of_bounds_raises():
+    b = IRBuilder()
+    with b.function("oob", [("x", Ptr())]) as f:
+        b.store(1.0, f.args[0], 10)
+    from repro.ir import verify_module
+    verify_module(b.module)
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="bounds"):
+        ex.run("oob", np.zeros(3))
+
+
+def test_use_after_free_raises():
+    b = IRBuilder()
+    with b.function("uaf", [("n", I64)], ret=F64) as f:
+        p = b.alloc(f.args[0], space="heap")
+        b.free(p)
+        b.ret(b.load(p, 0))
+    ex = Executor(b.module)
+    with pytest.raises(InterpreterError, match="freed"):
+        ex.run("uaf", 4)
+
+
+def test_wrong_dtype_rejected():
+    b = IRBuilder()
+    with b.function("dt", [("x", Ptr())]) as f:
+        b.store(1.0, f.args[0], 0)
+    ex = Executor(b.module)
+    with pytest.raises(TypeError, match="dtype"):
+        ex.run("dt", np.zeros(3, dtype=np.float32))
+
+
+def test_return_value_scalar():
+    b = IRBuilder()
+    with b.function("r", [], ret=F64) as f:
+        b.ret(4.25)
+    out, _ = run_verified(b, "r")
+    assert out == 4.25
+
+
+def test_select_scalar_and_mixed():
+    b = IRBuilder()
+    with b.function("sel", [("a", F64)], ret=F64) as f:
+        a = f.args[0]
+        b.ret(b.select(a > 0.0, a, -a))
+    assert run_verified(b, "sel", -3.0)[0] == 3.0

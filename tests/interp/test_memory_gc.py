@@ -1,0 +1,154 @@
+"""Memory model and the Julia GC-stress semantics."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, InterpreterError, Memory
+from repro.interp.memory import PtrVal
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+
+def test_alloc_zero_init():
+    m = Memory()
+    p = m.alloc(5, F64, "stack")
+    assert np.all(p.buffer.data == 0.0)
+
+
+def test_bounds_checks():
+    m = Memory()
+    p = m.alloc(3, F64, "stack")
+    with pytest.raises(InterpreterError):
+        m.load(p, 3)
+    with pytest.raises(InterpreterError):
+        m.store(p, -1, 1.0)
+    with pytest.raises(InterpreterError):
+        m.load(p, np.array([0, 5]))
+
+
+def test_interior_pointer_free_rejected():
+    m = Memory()
+    p = m.alloc(4, F64, "heap")
+    with pytest.raises(InterpreterError, match="interior"):
+        m.free(p.added(2))
+
+
+def test_double_free_rejected():
+    m = Memory()
+    p = m.alloc(4, F64, "heap")
+    m.free(p)
+    with pytest.raises(InterpreterError, match="double"):
+        m.free(p)
+
+
+def test_masked_store():
+    m = Memory()
+    p = m.alloc(4, F64, "stack")
+    mask = np.array([True, False, True, False])
+    m.store(p, np.arange(4), np.array([1.0, 2.0, 3.0, 4.0]), mask=mask)
+    np.testing.assert_allclose(p.buffer.data, [1.0, 0.0, 3.0, 0.0])
+
+
+def test_atomic_accumulates_duplicates():
+    m = Memory()
+    p = m.alloc(2, F64, "stack")
+    m.atomic("add", p, np.array([0, 0, 1, 0]), np.ones(4))
+    np.testing.assert_allclose(p.buffer.data, [3.0, 1.0])
+
+
+def test_gc_not_collected_without_stress():
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr())]) as f:
+        arr = b.alloc(4, space="gc")
+        b.call("jl.safepoint")
+        b.store(b.load(arr, 0) + 1.0, f.args[0], 0)
+    verify_module(b.module)
+    out = np.zeros(1)
+    Executor(b.module).run("g", out)
+    assert out[0] == 1.0
+
+
+def test_gc_stress_collects_unpreserved_at_safepoint():
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr())]) as f:
+        arr = b.alloc(4, space="gc")
+        b.call("jl.safepoint")
+        b.store(b.load(arr, 0) + 1.0, f.args[0], 0)
+    verify_module(b.module)
+    ex = Executor(b.module, ExecConfig(gc_stress=True))
+    with pytest.raises(InterpreterError, match="freed|collected"):
+        ex.run("g", np.zeros(1))
+
+
+def test_gc_stress_preserve_protects():
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr())]) as f:
+        arr = b.alloc(4, space="gc")
+        tok = b.call("jl.gc_preserve_begin", arr)
+        b.call("jl.safepoint")
+        b.store(b.load(arr, 0) + 1.0, f.args[0], 0)
+        b.call("jl.gc_preserve_end", tok)
+    verify_module(b.module)
+    out = np.zeros(1)
+    Executor(b.module, ExecConfig(gc_stress=True)).run("g", out)
+    assert out[0] == 1.0
+
+
+def test_gc_stress_preserve_end_reexposes():
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr())]) as f:
+        arr = b.alloc(4, space="gc")
+        tok = b.call("jl.gc_preserve_begin", arr)
+        b.call("jl.gc_preserve_end", tok)
+        b.call("jl.safepoint")
+        b.store(b.load(arr, 0), f.args[0], 0)
+    verify_module(b.module)
+    ex = Executor(b.module, ExecConfig(gc_stress=True))
+    with pytest.raises(InterpreterError):
+        ex.run("g", np.zeros(1))
+
+
+def test_gc_reachability_through_stored_pointers():
+    """A GC buffer stored (as a managed pointer) inside a preserved
+    buffer stays alive transitively."""
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr())]) as f:
+        holder = b.alloc(1, Ptr(F64), space="gc")
+        inner = b.alloc(2, space="gc")
+        b.store(inner, holder, 0)
+        tok = b.call("jl.gc_preserve_begin", holder)
+        b.call("jl.safepoint")
+        got = b.load(holder, 0)
+        b.store(b.load(got, 0) + 7.0, f.args[0], 0)
+        b.call("jl.gc_preserve_end", tok)
+    verify_module(b.module)
+    out = np.zeros(1)
+    Executor(b.module, ExecConfig(gc_stress=True)).run("g", out)
+    assert out[0] == 7.0
+
+
+def test_raw_arrayptr_does_not_root():
+    """The §VI-C2 hazard: a raw data pointer does not keep the array
+    alive across a safepoint."""
+    b = IRBuilder()
+    with b.function("g", [("out", Ptr()), ("holder", Ptr(Ptr(F64)))]) as f:
+        out, holder = f.args
+        arr = b.alloc(2, space="gc")
+        raw = b.call("jl.arrayptr", arr)
+        b.store(raw, holder, 0)  # raw pointer escapes, but raw != root
+        b.call("jl.safepoint")
+        b.store(b.load(raw, 0), out, 0)
+    verify_module(b.module)
+    ex = Executor(b.module, ExecConfig(gc_stress=True))
+    with pytest.raises(InterpreterError):
+        ex.run("g", np.zeros(1), np.empty(1, dtype=object))
+
+
+def test_external_buffers_are_roots():
+    b = IRBuilder()
+    with b.function("g", [("x", Ptr())]) as f:
+        b.call("jl.safepoint")
+        b.store(1.0, f.args[0], 0)
+    verify_module(b.module)
+    xs = np.zeros(2)
+    Executor(b.module, ExecConfig(gc_stress=True)).run("g", xs)
+    assert xs[0] == 1.0

@@ -1,0 +1,196 @@
+"""Vectorized (SIMD) execution of parallel-loop bodies."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, InterpreterError
+from repro.ir import F64, I64, IRBuilder, Ptr, verify_module
+
+from ..conftest import run_verified
+
+
+def test_parallel_for_matches_serial():
+    results = []
+    for parallel in (False, True):
+        b = IRBuilder()
+        with b.function("k", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+            x, y, n = f.args
+            ctx = b.parallel_for(0, n) if parallel else b.for_(0, n)
+            with ctx as i:
+                v = b.load(x, i)
+                b.store(b.sin(v) * b.exp(v * 0.1) + v, y, i)
+        xs = np.linspace(0.1, 2.0, 17)
+        ys = np.zeros(17)
+        run_verified(b, "k", xs, ys, 17, num_threads=4)
+        results.append(ys.copy())
+    np.testing.assert_allclose(results[0], results[1])
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 3, 5, 8, 64])
+def test_thread_count_invariance(nthreads):
+    b = IRBuilder()
+    with b.function("k", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(b.itof(i) * 2.0, x, i)
+    xs = np.zeros(13)
+    run_verified(b, "k", xs, 13, num_threads=nthreads)
+    np.testing.assert_allclose(xs, 2.0 * np.arange(13))
+
+
+def test_gather_scatter_indirection():
+    b = IRBuilder()
+    with b.function("g", [("x", Ptr()), ("idx", Ptr(I64)), ("y", Ptr()),
+                          ("n", I64)]) as f:
+        x, idx, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            j = b.load(idx, i)
+            b.store(b.load(x, j) * 10.0, y, i)
+    xs = np.arange(1.0, 9.0)
+    idx = np.array([3, 1, 0, 2], dtype=np.int64)
+    ys = np.zeros(4)
+    run_verified(b, "g", xs, idx, ys, 4, num_threads=2)
+    np.testing.assert_allclose(ys, xs[idx] * 10.0)
+
+
+def test_vector_if_masking():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            with b.if_(v > 0.0):
+                b.store(b.sqrt(v), x, i)
+            with b.else_():
+                b.store(0.0, x, i)
+    xs = np.array([4.0, -1.0, 9.0, -5.0, 16.0])
+    run_verified(b, "m", xs, 5, num_threads=2)
+    np.testing.assert_allclose(xs, [2.0, 0.0, 3.0, 0.0, 4.0])
+
+
+def test_nested_vector_if():
+    b = IRBuilder()
+    with b.function("m2", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            with b.if_(v > 0.0):
+                with b.if_(v > 10.0):
+                    b.store(100.0, x, i)
+                with b.else_():
+                    b.store(1.0, x, i)
+    xs = np.array([-3.0, 5.0, 20.0])
+    run_verified(b, "m2", xs, 3)
+    np.testing.assert_allclose(xs, [-3.0, 1.0, 100.0])
+
+
+def test_masked_division_no_crash():
+    """Inactive lanes may divide by zero; masking must protect them."""
+    b = IRBuilder()
+    with b.function("d", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            with b.if_(b.cmp("ne", v, 0.0)):
+                b.store(1.0 / v, x, i)
+    xs = np.array([2.0, 0.0, 4.0])
+    run_verified(b, "d", xs, 3)
+    np.testing.assert_allclose(xs, [0.5, 0.0, 0.25])
+
+
+def test_masked_gather_oob_index_protected():
+    """Masked-off lanes may compute garbage indices; loads are
+    neutralized rather than trapping."""
+    b = IRBuilder()
+    with b.function("gg", [("x", Ptr()), ("idx", Ptr(I64)), ("n", I64)]) as f:
+        x, idx, n = f.args
+        with b.parallel_for(0, n) as i:
+            j = b.load(idx, i)
+            with b.if_(b.cmp("ge", j, 0)):
+                b.store(b.load(x, j) + 1.0, x, i)
+    xs = np.array([1.0, 2.0, 3.0])
+    idx = np.array([2, -99, 0], dtype=np.int64)
+    run_verified(b, "gg", xs, idx, 3)
+    np.testing.assert_allclose(xs, [4.0, 2.0, 2.0])
+
+
+def test_serial_inner_loop_inside_parallel_body():
+    b = IRBuilder()
+    with b.function("inner", [("x", Ptr()), ("y", Ptr()), ("n", I64)]) as f:
+        x, y, n = f.args
+        with b.parallel_for(0, n) as i:
+            acc = b.load(y, i)
+            with b.for_(0, 3) as k:
+                acc2 = b.load(y, i) + b.load(x, i)
+                b.store(acc2, y, i)
+            del acc
+    xs = np.ones(5)
+    ys = np.zeros(5)
+    run_verified(b, "inner", xs, ys, 5, num_threads=2)
+    np.testing.assert_allclose(ys, 3.0)
+
+
+def test_atomic_add_duplicate_indices():
+    b = IRBuilder()
+    with b.function("hist", [("x", Ptr()), ("idx", Ptr(I64)), ("out", Ptr()),
+                             ("n", I64)]) as f:
+        x, idx, out, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.atomic_add(b.load(x, i), out, b.load(idx, i))
+    xs = np.ones(6)
+    idx = np.array([0, 1, 0, 1, 0, 2], dtype=np.int64)
+    out = np.zeros(3)
+    run_verified(b, "hist", xs, idx, out, 6, num_threads=3)
+    np.testing.assert_allclose(out, [3.0, 2.0, 1.0])
+
+
+def test_atomic_min_max():
+    b = IRBuilder()
+    with b.function("mm", [("x", Ptr()), ("lo", Ptr()), ("hi", Ptr()),
+                           ("n", I64)]) as f:
+        x, lo, hi, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.atomic_min(v, lo, 0)
+            b.atomic_max(v, hi, 0)
+    xs = np.array([3.0, -7.0, 12.0, 0.5])
+    lo, hi = np.array([1e30]), np.array([-1e30])
+    run_verified(b, "mm", xs, lo, hi, 4, num_threads=2)
+    assert lo[0] == -7.0 and hi[0] == 12.0
+
+
+def test_simd_for_outside_parallel():
+    b = IRBuilder()
+    with b.function("sf", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.itof(i), x, i)
+    xs = np.zeros(5)
+    run_verified(b, "sf", xs, 5)
+    np.testing.assert_allclose(xs, np.arange(5.0))
+
+
+def test_data_dependent_while_in_simd_rejected():
+    b = IRBuilder()
+    with b.function("bad", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            with b.while_() as it:
+                v = b.load(x, i)
+                b.store(v * 0.5, x, i)
+                b.loop_while(v > 1.0)
+    verify_module(b.module)
+    ex = Executor(b.module, ExecConfig(num_threads=2))
+    with pytest.raises(InterpreterError, match="vectorized"):
+        ex.run("bad", np.array([8.0, 1.0, 2.0]), 3)
+
+
+def test_zero_trip_parallel_for():
+    b = IRBuilder()
+    with b.function("z", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(1.0, x, i)
+    xs = np.zeros(3)
+    run_verified(b, "z", xs, 0, num_threads=4)
+    np.testing.assert_allclose(xs, 0.0)

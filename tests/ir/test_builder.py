@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.ir import (
+    F64,
+    I1,
+    I64,
+    IRBuilder,
+    Constant,
+    Ptr,
+    print_function,
+    verify_module,
+)
+from repro.ir.ops import ComputeOp, ForOp, IfOp, ParallelForOp
+
+
+def test_function_signature():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)], ret=F64) as f:
+        b.ret(1.5)
+    fn = b.module.functions["f"]
+    assert [a.name for a in fn.args] == ["x", "n"]
+    assert fn.ret_type is F64
+
+
+def test_operator_sugar_types():
+    b = IRBuilder()
+    with b.function("g", [("a", F64), ("k", I64)], ret=F64) as f:
+        a, k = f.args
+        v = a * a + 2.0
+        w = v / (a - 0.5)
+        i2 = k + 1          # integer op
+        mixed = a + k       # int coerced to float
+        assert v.type is F64
+        assert i2.type is I64
+        assert mixed.type is F64
+        b.ret(w + mixed)
+    verify_module(b.module)
+
+
+def test_comparisons_produce_i1():
+    b = IRBuilder()
+    with b.function("c", [("a", F64)], ret=F64) as f:
+        a = f.args[0]
+        cond = a > 1.0
+        assert cond.type is I1
+        b.ret(b.select(cond, a, 0.0))
+    verify_module(b.module)
+
+
+def test_auto_void_return():
+    b = IRBuilder()
+    with b.function("v", [("x", Ptr())]) as f:
+        b.store(1.0, f.args[0], 0)
+    fn = b.module.functions["v"]
+    assert fn.body.ops[-1].opcode == "return"
+
+
+def test_structured_ops_nesting():
+    b = IRBuilder()
+    with b.function("s", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n) as i:
+            with b.if_(b.cmp("lt", i, 3)):
+                b.store(1.0, x, i)
+            with b.else_():
+                b.store(2.0, x, i)
+    fn = b.module.functions["s"]
+    loop = fn.body.ops[0]
+    assert isinstance(loop, ForOp)
+    assert isinstance(loop.body.ops[1], IfOp)
+    verify_module(b.module)
+
+
+def test_while_requires_condition():
+    b = IRBuilder()
+    with pytest.raises(RuntimeError):
+        with b.function("w", [("x", Ptr())]) as f:
+            with b.while_() as it:
+                b.store(1.0, f.args[0], 0)
+            # missing loop_while
+
+
+def test_while_ok():
+    b = IRBuilder()
+    with b.function("w", [("x", Ptr())]) as f:
+        with b.while_() as it:
+            b.store(1.0, f.args[0], 0)
+            b.loop_while(b.cmp("lt", it, 3))
+    verify_module(b.module)
+
+
+def test_call_arity_checked():
+    b = IRBuilder()
+    with pytest.raises(TypeError):
+        with b.function("bad", [("x", Ptr())]) as f:
+            b.call("mpi.send", f.args[0])  # needs 4 args
+
+
+def test_call_unknown_callee():
+    b = IRBuilder()
+    with pytest.raises(KeyError):
+        with b.function("bad2", []) as f:
+            b.call("nonexistent.fn")
+
+
+def test_store_type_mismatch():
+    b = IRBuilder()
+    with b.function("m", [("x", Ptr(I64))]) as f:
+        # float constant coerced to int fails
+        with pytest.raises(TypeError):
+            b.store(1.5, f.args[0], 0)
+
+
+def test_constants_inferred():
+    assert Constant(1).type is I64
+    assert Constant(1.0).type is F64
+    assert Constant(True).type is I1
+
+
+def test_printer_roundtrip_mentions_structure():
+    b = IRBuilder()
+    with b.function("p", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(v + 1.0, x, i)
+    text = print_function(b.module.functions["p"])
+    assert "parallel_for" in text
+    assert "load" in text and "store" in text
+
+
+def test_operator_outside_builder_raises():
+    from repro.ir.values import Argument
+    a = Argument(F64, "x", 0)
+    with pytest.raises(RuntimeError):
+        _ = a + 1.0
+
+
+def test_clone_preserves_structure():
+    b = IRBuilder()
+    with b.function("orig", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n) as i:
+            v = b.load(x, i)
+            b.store(v * v, x, i)
+    clone = b.module.clone_function("orig", "copy")
+    assert clone.num_ops() == b.module.functions["orig"].num_ops()
+    verify_module(b.module)
+    # Cloned ops are distinct objects
+    orig_ids = {op.uid for op in b.module.functions["orig"].walk()}
+    copy_ids = {op.uid for op in clone.walk()}
+    assert not (orig_ids & copy_ids)

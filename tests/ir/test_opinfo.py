@@ -1,0 +1,77 @@
+"""Opcode table invariants + AD rule coverage completeness."""
+
+import numpy as np
+import pytest
+
+from repro.ad.rules import RULES, ZERO_DERIVATIVE
+from repro.ir import OP_INFO
+from repro.ir.opinfo import COST_FLOP, COST_FREE
+from repro.ir.types import F64
+
+
+def test_every_op_has_arity_and_cost():
+    for name, info in OP_INFO.items():
+        assert info.arity >= 1, name
+        assert info.cost in ("flop", "div", "special", "int", "free"), name
+
+
+def test_evaluators_callable():
+    for name, info in OP_INFO.items():
+        if name == "cmp":
+            assert "preds" in info.attrs
+            continue
+        assert callable(info.evaluate), name
+
+
+def test_float_ops_have_adjoint_rule_or_zero():
+    """Every float-producing opcode must be differentiable: either a
+    registered adjoint rule or an explicit zero-derivative entry —
+    a new opcode without a rule is a silent-wrong-gradient hazard."""
+    missing = []
+    for name, info in OP_INFO.items():
+        if name == "cmp":
+            continue
+        try:
+            rt = info.result_type([F64] * info.arity)
+        except TypeError:
+            continue  # not a float op
+        if rt is F64 and name not in RULES and name not in ZERO_DERIVATIVE:
+            missing.append(name)
+    assert not missing, missing
+
+
+def test_commutative_flags_sane():
+    for name in ("add", "mul", "min", "max", "iadd", "imul"):
+        assert OP_INFO[name].commutative, name
+    for name in ("sub", "div", "isub", "pow"):
+        assert not OP_INFO[name].commutative, name
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("add", (2.0, 3.0), 5.0),
+    ("sub", (2.0, 3.0), -1.0),
+    ("mul", (2.0, 3.0), 6.0),
+    ("div", (3.0, 2.0), 1.5),
+    ("min", (2.0, 3.0), 2.0),
+    ("max", (2.0, 3.0), 3.0),
+    ("fma", (2.0, 3.0, 1.0), 7.0),
+    ("copysign", (2.5, -1.0), -2.5),
+    ("neg", (2.0,), -2.0),
+    ("abs", (-2.0,), 2.0),
+    ("sqrt", (9.0,), 3.0),
+    ("cbrt", (27.0,), 3.0),
+    ("exp", (0.0,), 1.0),
+    ("log", (1.0,), 0.0),
+    ("floor", (2.7,), 2.0),
+    ("idiv", (7, 2), 3),
+    ("imod", (7, 2), 1),
+])
+def test_evaluator_values(name, args, expect):
+    assert OP_INFO[name].evaluate(*args) == pytest.approx(expect)
+
+
+def test_vectorized_evaluators():
+    a = np.array([1.0, 4.0, 9.0])
+    np.testing.assert_allclose(OP_INFO["sqrt"].evaluate(a), np.sqrt(a))
+    np.testing.assert_allclose(
+        OP_INFO["fma"].evaluate(a, a, a), a * a + a)

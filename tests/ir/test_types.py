@@ -1,0 +1,56 @@
+import pytest
+
+from repro.ir import F64, I1, I64, PointerType, Ptr, Request, Task, Void
+from repro.ir.types import Token, common_numeric
+
+
+def test_scalar_singletons():
+    assert F64 is not I64
+    assert F64.is_float and not F64.is_int
+    assert I64.is_int and not I64.is_float
+    assert I1.is_bool
+
+
+def test_pointer_interning():
+    assert Ptr(F64) is Ptr(F64)
+    assert Ptr(I64) is Ptr(I64)
+    assert Ptr(F64) is not Ptr(I64)
+    assert Ptr(Ptr(F64)) is Ptr(Ptr(F64))
+
+
+def test_pointer_elem():
+    p = Ptr(F64)
+    assert isinstance(p, PointerType)
+    assert p.elem is F64
+    assert p.is_pointer
+    assert str(p) == "ptr<f64>"
+
+
+def test_nested_pointer():
+    pp = Ptr(Ptr(F64))
+    assert pp.elem is Ptr(F64)
+    assert str(pp) == "ptr<ptr<f64>>"
+
+
+def test_handle_types():
+    assert Task.is_handle and Request.is_handle and Token.is_handle
+    assert not F64.is_handle
+
+
+def test_size_bytes():
+    assert F64.size_bytes == 8
+    assert I64.size_bytes == 8
+    assert I1.size_bytes == 1
+    assert Ptr(F64).size_bytes == 8
+
+
+def test_common_numeric():
+    assert common_numeric(F64, F64) is F64
+    assert common_numeric(F64, I64) is F64
+    assert common_numeric(I64, I64) is I64
+    with pytest.raises(TypeError):
+        common_numeric(I1, I1)
+
+
+def test_default_ptr_is_f64():
+    assert Ptr() is Ptr(F64)

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    IRBuilder,
+    Ptr,
+    VerificationError,
+    verify_module,
+)
+from repro.ir.ops import BarrierOp, ComputeOp, ForOp, ReturnOp, StoreOp
+from repro.ir.values import Constant
+
+
+def test_use_before_def_rejected():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        leaked = None
+        with b.for_(0, n) as i:
+            leaked = b.load(x, i)
+        # Use a loop-local value outside the loop: invalid.
+        b.store(leaked, x, 0)
+    with pytest.raises(VerificationError, match="dominate"):
+        verify_module(b.module)
+
+
+def test_sibling_region_value_rejected():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        v = None
+        with b.if_(b.cmp("lt", n, 3)):
+            v = b.load(x, 0)
+        with b.else_():
+            b.store(v, x, 1)
+    with pytest.raises(VerificationError, match="dominate"):
+        verify_module(b.module)
+
+
+def test_enclosing_scope_visible():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        outer = b.load(x, 0)
+        with b.for_(0, n) as i:
+            b.store(outer, x, i)  # enclosing def: fine
+    verify_module(b.module)
+
+
+def test_barrier_outside_fork_rejected():
+    b = IRBuilder()
+    with b.function("f", [("n", I64)]) as f:
+        b.emit(BarrierOp())
+    with pytest.raises(VerificationError, match="barrier"):
+        verify_module(b.module)
+
+
+def test_workshare_outside_fork_rejected():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        op = ForOp(Constant(0, I64), n, Constant(1, I64), workshare=True)
+        b.emit(op)
+    with pytest.raises(VerificationError, match="workshare"):
+        verify_module(b.module)
+
+
+def test_nested_parallel_rejected():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            with b.parallel_for(0, n) as j:
+                b.store(0.0, x, j)
+    with pytest.raises(VerificationError, match="nested"):
+        verify_module(b.module)
+
+
+def test_return_in_region_rejected():
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n) as i:
+            b.block.append(ReturnOp([]))
+    with pytest.raises(VerificationError, match="return"):
+        verify_module(b.module)
+
+
+def test_return_type_mismatch():
+    b = IRBuilder()
+    with b.function("f", [("a", F64)], ret=F64) as f:
+        pass  # no return emitted; add a bad one manually
+    fn = b.module.functions["f"]
+    fn.body.append(ReturnOp([]))
+    with pytest.raises(VerificationError, match="return"):
+        verify_module(b.module)
+
+
+def test_call_arity_verified():
+    from repro.ir.ops import CallOp
+    from repro.ir.types import Void
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr())]) as f:
+        f_x = f.args[0]
+        bad = CallOp("mpi.barrier", [f_x], Void)
+        b.emit(bad)
+    with pytest.raises(VerificationError, match="expects"):
+        verify_module(b.module)
+
+
+def test_condition_must_terminate_while():
+    from repro.ir.ops import ConditionOp, WhileOp
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr())]) as f:
+        x = f.args[0]
+        w = WhileOp()
+        b.emit(w)
+        with b.at(w.body):
+            c = b.cmp("lt", w.ivar, 2)
+            b.loop_while(c)
+            b.store(1.0, x, 0)  # op after condition
+    with pytest.raises(VerificationError, match="condition"):
+        verify_module(b.module)

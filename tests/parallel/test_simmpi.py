@@ -1,0 +1,209 @@
+"""SimMPI engine semantics: matching, collectives, clocks, deadlock."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, InterpreterError
+from repro.ir import F64, I64, IRBuilder, Ptr, Request, verify_module
+from repro.parallel import SimMPI, mpi_run
+
+
+def _module_pingpong():
+    b = IRBuilder()
+    with b.function("pp", [("buf", Ptr()), ("n", I64)]) as f:
+        buf, n = f.args
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.call("mpi.send", buf, n, 1, 5)
+            b.call("mpi.recv", buf, n, 1, 6)
+        with b.else_():
+            tmp = b.alloc(n)
+            b.call("mpi.recv", tmp, n, 0, 5)
+            with b.for_(0, n, simd=True) as i:
+                b.store(b.load(tmp, i) * 2.0, tmp, i)
+            b.call("mpi.send", tmp, n, 0, 6)
+    verify_module(b.module)
+    return b
+
+
+def test_pingpong_doubles():
+    b = _module_pingpong()
+    bufs = [np.arange(1.0, 4.0), np.zeros(3)]
+    mpi_run(b.module, "pp", 2, lambda r: (bufs[r], 3))
+    np.testing.assert_allclose(bufs[0], 2 * np.arange(1.0, 4.0))
+
+
+def test_message_ordering_fifo():
+    """Two same-tag messages arrive in send order."""
+    b = IRBuilder()
+    with b.function("fifo", [("out", Ptr())]) as f:
+        out = f.args[0]
+        rank = b.call("mpi.comm_rank")
+        one = b.alloc(1)
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.store(1.0, one, 0)
+            b.call("mpi.send", one, 1, 1, 9)
+            b.store(2.0, one, 0)
+            b.call("mpi.send", one, 1, 1, 9)
+        with b.else_():
+            b.call("mpi.recv", one, 1, 0, 9)
+            b.store(b.load(one, 0), out, 0)
+            b.call("mpi.recv", one, 1, 0, 9)
+            b.store(b.load(one, 0), out, 1)
+    outs = [np.zeros(2), np.zeros(2)]
+    mpi_run(b.module, "fifo", 2, lambda r: (outs[r],))
+    np.testing.assert_allclose(outs[1], [1.0, 2.0])
+
+
+def test_tags_demultiplex():
+    b = IRBuilder()
+    with b.function("tags", [("out", Ptr())]) as f:
+        out = f.args[0]
+        rank = b.call("mpi.comm_rank")
+        cell = b.alloc(1)
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.store(7.0, cell, 0)
+            b.call("mpi.send", cell, 1, 1, 70)
+            b.store(8.0, cell, 0)
+            b.call("mpi.send", cell, 1, 1, 80)
+        with b.else_():
+            # receive in the opposite tag order
+            b.call("mpi.recv", cell, 1, 0, 80)
+            b.store(b.load(cell, 0), out, 0)
+            b.call("mpi.recv", cell, 1, 0, 70)
+            b.store(b.load(cell, 0), out, 1)
+    outs = [np.zeros(2), np.zeros(2)]
+    mpi_run(b.module, "tags", 2, lambda r: (outs[r],))
+    np.testing.assert_allclose(outs[1], [8.0, 7.0])
+
+
+@pytest.mark.parametrize("op,expect", [
+    ("sum", 0 + 1 + 2 + 3), ("min", 0.0), ("max", 3.0),
+])
+def test_allreduce_ops(op, expect):
+    b = IRBuilder()
+    with b.function("ar", [("out", Ptr())]) as f:
+        out = f.args[0]
+        rank = b.call("mpi.comm_rank")
+        s = b.alloc(1)
+        b.store(b.itof(rank), s, 0)
+        r = b.alloc(1)
+        b.call("mpi.allreduce", s, r, 1, op=op)
+        b.store(b.load(r, 0), out, 0)
+    outs = [np.zeros(1) for _ in range(4)]
+    mpi_run(b.module, "ar", 4, lambda r: (outs[r],))
+    for o in outs:
+        assert o[0] == expect
+
+
+def test_bcast_and_reduce():
+    b = IRBuilder()
+    with b.function("br", [("buf", Ptr()), ("tot", Ptr())]) as f:
+        buf, tot = f.args
+        b.call("mpi.bcast", buf, 2, 0)
+        b.call("mpi.reduce", buf, tot, 2, 0, op="sum")
+    bufs = [np.array([3.0, 4.0]) if r == 0 else np.zeros(2)
+            for r in range(3)]
+    tots = [np.zeros(2) for _ in range(3)]
+    mpi_run(b.module, "br", 3, lambda r: (bufs[r], tots[r]))
+    for bu in bufs:
+        np.testing.assert_allclose(bu, [3.0, 4.0])
+    np.testing.assert_allclose(tots[0], [9.0, 12.0])
+    np.testing.assert_allclose(tots[1], 0.0)
+
+
+def test_nonblocking_overlap():
+    b = IRBuilder()
+    with b.function("nb", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        rank = b.call("mpi.comm_rank")
+        size = b.call("mpi.comm_size")
+        tmp = b.alloc(n)
+        r1 = b.call("mpi.isend", x, n, (rank + 1) % size, 1)
+        r2 = b.call("mpi.irecv", tmp, n, (rank + size - 1) % size, 1)
+        # overlap with local work before waiting
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.load(x, i) + 0.0, x, i)
+        b.call("mpi.wait", r1)
+        b.call("mpi.wait", r2)
+        b.memcpy(x, tmp, n)
+    xs = [np.full(3, float(r)) for r in range(3)]
+    mpi_run(b.module, "nb", 3, lambda r: (xs[r], 3))
+    np.testing.assert_allclose(xs[0], 2.0)
+    np.testing.assert_allclose(xs[1], 0.0)
+    np.testing.assert_allclose(xs[2], 1.0)
+
+
+def test_deadlock_detected():
+    # Both ranks post a blocking receive from the other with nobody
+    # sending: the engine must diagnose the deadlock.
+    b2 = IRBuilder()
+    with b2.function("dead", [("x", Ptr())]) as f:
+        x = f.args[0]
+        rank = b2.call("mpi.comm_rank")
+        peer = 1 - rank
+        b2.call("mpi.recv", x, 1, peer, 3)
+    with pytest.raises(InterpreterError, match="deadlock"):
+        mpi_run(b2.module, "dead", 2, lambda r: (np.zeros(1),))
+
+
+def test_count_mismatch_detected():
+    b = IRBuilder()
+    with b.function("mm", [("x", Ptr())]) as f:
+        x = f.args[0]
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.call("mpi.send", x, 3, 1, 1)
+        with b.else_():
+            b.call("mpi.recv", x, 2, 0, 1)
+    with pytest.raises(InterpreterError, match="size mismatch"):
+        mpi_run(b.module, "mm", 2, lambda r: (np.zeros(3),))
+
+
+def test_mismatched_collectives_detected():
+    b = IRBuilder()
+    with b.function("mc", [("x", Ptr())]) as f:
+        x = f.args[0]
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.call("mpi.barrier")
+        with b.else_():
+            b.call("mpi.bcast", x, 1, 0)
+    with pytest.raises(InterpreterError, match="ismatched"):
+        mpi_run(b.module, "mc", 2, lambda r: (np.zeros(1),))
+
+
+def test_clocks_advance_and_alpha_beta():
+    """Bigger messages take longer; MPICH constants exceed OpenMPI's."""
+    b = IRBuilder()
+    with b.function("c", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.call("mpi.send", x, n, 1, 1)
+        with b.else_():
+            b.call("mpi.recv", x, n, 0, 1)
+
+    def time_for(n, impl):
+        res = SimMPI(b.module, 2, ExecConfig(mpi_impl=impl)).run(
+            "c", lambda r: (np.zeros(n), n))
+        return res.time
+
+    assert time_for(4096, "openmpi") > time_for(8, "openmpi")
+    assert time_for(4096, "mpich") > time_for(4096, "openmpi")
+
+
+def test_barrier_synchronizes_clocks():
+    b = IRBuilder()
+    with b.function("bar", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        rank = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", rank, 0)):
+            with b.for_(0, n, simd=True) as i:  # rank 0 does extra work
+                b.store(b.sin(b.load(x, i)), x, i)
+        b.call("mpi.barrier")
+    engine = SimMPI(b.module, 2, ExecConfig())
+    engine.run("bar", lambda r: (np.ones(50000), 50000))
+    c0 = engine.ranks[0].interp.clock
+    c1 = engine.ranks[1].interp.clock
+    assert c0 == pytest.approx(c1)

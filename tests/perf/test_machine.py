@@ -1,0 +1,113 @@
+"""Machine model unit tests: the phenomena the evaluation relies on."""
+
+import math
+
+import pytest
+
+from repro.perf import CostVector, MachineModel, c6i_metal, uncontended
+
+
+def _cost(flops=0.0, loads=0.0, stores=0.0, stream=0.0, atomics=0.0,
+          specials=0.0, tape_ops=0.0):
+    c = CostVector()
+    c.flops = flops
+    c.load_bytes = loads
+    c.store_bytes = stores
+    c.stream_bytes = stream
+    c.atomic_ops = atomics
+    c.specials = specials
+    c.tape_ops = tape_ops
+    return c
+
+
+def test_compute_time_linear():
+    m = c6i_metal()
+    assert m.compute_time(_cost(flops=1e6)) == pytest.approx(
+        1e6 * m.flop_time)
+    assert m.compute_time(_cost(specials=10)) == pytest.approx(
+        10 * m.special_time)
+
+
+def test_bandwidth_sharing_across_cores():
+    m = c6i_metal()
+    assert m.effective_bw(1) == pytest.approx(m.per_core_bw)
+    assert m.effective_bw(32) == pytest.approx(m.socket_bw / 32)
+
+
+def test_numa_penalty_beyond_one_socket():
+    m = c6i_metal()
+    bw32 = m.effective_bw(32)
+    bw33 = m.effective_bw(33)
+    # crossing the socket: fewer cores per socket but NUMA penalty
+    assert bw33 < bw32 * 2  # no magic speedup
+    assert m.effective_bw(64) == pytest.approx(
+        m.socket_bw / 32 / m.numa_penalty)
+
+
+def test_parallel_region_makespan_is_worst_thread():
+    m = uncontended()
+    costs = [_cost(flops=100), _cost(flops=1000), _cost(flops=10)]
+    t = m.parallel_region_time(costs, 3)
+    assert t == pytest.approx(m.compute_time(costs[1])
+                              + m.fork_overhead(3) + m.barrier_time(3))
+
+
+def test_atomic_contention_grows_with_threads():
+    m = c6i_metal()
+    c = _cost(atomics=1000)
+    assert m.atomic_time(c, 64) > m.atomic_time(c, 1)
+
+
+def test_stream_traffic_not_hidden_by_compute():
+    """AD-cache streaming adds to compute instead of overlapping (the
+    miniBUDE-without-OpenMPOpt mechanism)."""
+    m = c6i_metal()
+    base = _cost(flops=1e6)
+    with_stream = _cost(flops=1e6, stream=1e6)
+    assert m.serial_time(with_stream) > m.serial_time(base)
+    # and the stream term does not shrink with more busy threads
+    t8 = m.thread_time(_cost(stream=1e6), nthreads=8)
+    t64 = m.thread_time(_cost(stream=1e6), nthreads=64)
+    assert t64 >= t8
+
+
+def test_tape_time_serial_overhead():
+    m = c6i_metal()
+    assert m.serial_time(_cost(flops=100, tape_ops=100)) > \
+        m.serial_time(_cost(flops=100))
+
+
+def test_network_constants_per_implementation():
+    m = c6i_metal()
+    openmpi = m.network("openmpi")
+    mpich = m.network("mpich")
+    assert mpich.alpha > openmpi.alpha
+    assert mpich.ptp_time(1 << 20) > openmpi.ptp_time(1 << 20)
+
+
+def test_collective_times_log_scale():
+    m = c6i_metal()
+    net = m.network()
+    assert net.allreduce_time(8, 64) > net.allreduce_time(8, 4)
+    assert net.allreduce_time(8, 64) == pytest.approx(
+        6 * (2 * net.alpha + 8 * net.beta))
+    assert net.allreduce_time(8, 1) == 0.0
+
+
+def test_fork_and_barrier_overheads():
+    m = c6i_metal()
+    assert m.fork_overhead(64) > m.fork_overhead(1)
+    assert m.barrier_time(1) == 0.0
+    assert m.barrier_time(64) == pytest.approx(6 * m.barrier_base)
+
+
+def test_cost_vector_merge_and_copy():
+    a = _cost(flops=5, loads=16)
+    b = _cost(flops=3, atomics=2)
+    a.merge(b)
+    assert a.flops == 8 and a.atomic_ops == 2 and a.load_bytes == 16
+    c = a.copy()
+    c.flops += 1
+    assert a.flops == 8
+    assert not a.is_zero()
+    assert CostVector().is_zero()

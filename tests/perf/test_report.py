@@ -1,0 +1,46 @@
+"""Reporting helpers."""
+
+import pytest
+
+from repro.perf.report import Series, ascii_plot, format_table
+
+
+def test_series_speedup_and_efficiency():
+    s = Series("fwd")
+    for x, t in ((1, 8.0), (2, 4.0), (4, 2.5)):
+        s.add(x, t)
+    sp = s.speedup()
+    assert sp.points[1] == 1.0
+    assert sp.points[2] == 2.0
+    assert sp.points[4] == pytest.approx(3.2)
+    eff = s.efficiency()
+    assert eff.points[2] == pytest.approx(1.0)
+    assert eff.points[4] == pytest.approx(0.8)
+
+
+def test_overhead_series():
+    f = Series("fwd")
+    g = Series("grad")
+    for x in (1, 2):
+        f.add(x, 1.0 * x)
+        g.add(x, 3.0 * x)
+    ov = g.overhead_against(f)
+    assert ov.points[1] == 3.0 and ov.points[2] == 3.0
+
+
+def test_format_table_alignment():
+    t = format_table("T", ["a", "bbb"], [[1, 2.5], [100, 3.0e-9]])
+    lines = t.splitlines()
+    assert lines[0] == "== T =="
+    assert "3.000e-09" in t
+    assert len(set(len(l) for l in lines[1:3])) == 1
+
+
+def test_ascii_plot_renders():
+    s = Series("fwd")
+    for x, t in ((1, 8.0), (2, 4.0), (4, 2.0), (8, 1.2)):
+        s.add(x, t)
+    art = ascii_plot([s], title="scaling", width=30, height=8)
+    assert "scaling" in art
+    assert "o=fwd" in art
+    assert art.count("o") >= 4
