@@ -43,6 +43,13 @@ from .ir import (
     verify_module,
 )
 from .perf import MachineModel, c6i_metal
+from .sanitize import (
+    LintError,
+    RaceChecker,
+    RaceReport,
+    lint_function,
+    lint_module,
+)
 
 __version__ = "1.0.0"
 
@@ -52,5 +59,6 @@ __all__ = [
     "F64", "I1", "I64", "IRBuilder", "Module", "Ptr",
     "print_function", "print_module", "verify_module",
     "MachineModel", "c6i_metal",
+    "LintError", "RaceChecker", "RaceReport", "lint_function", "lint_module",
     "__version__",
 ]

@@ -142,11 +142,25 @@ def increment_kind(ptr: Value, idx: Value, par_ivars: list[Value],
                    aliasing: AliasInfo,
                    enclosing_parallel: Optional[Op],
                    catalog: ReductionCatalog = DEFAULT_REDUCTIONS,
-                   atomic_everywhere: bool = False) -> str:
-    """Choose the shadow-increment mechanism for a load adjoint."""
+                   atomic_everywhere: bool = False,
+                   mpi_escapes: bool = False) -> str:
+    """Choose the shadow-increment mechanism for a load adjoint.
+
+    ``mpi_escapes`` marks locations whose shadow participates in MPI
+    communication: the reverse pass of a send is a receive-and-increment
+    delivered concurrently with rank-local reverse code (§VI-B), so such
+    shadows are contended even *outside* any fork region.  The
+    ``atomic_everywhere`` ablation must therefore not downgrade them to
+    a serial load-add-store just because ``enclosing_parallel`` is None.
+    """
     if atomic_everywhere:
-        return ATOMIC if enclosing_parallel is not None else SERIAL
+        if enclosing_parallel is not None or mpi_escapes:
+            return ATOMIC
+        return SERIAL
     if enclosing_parallel is None:
+        # Rank-local reverse code is single-threaded here, and the
+        # adjoint-MPI helpers accumulate through private temporaries, so
+        # serial is provably safe even for MPI-escaping shadows.
         return SERIAL
     # Thread-local allocation?
     alloc = aliasing.points_to_single_alloc(ptr)

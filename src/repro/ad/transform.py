@@ -110,6 +110,16 @@ class ADConfig:
     #: (Enzyme.jl registers the GC allocation function, §VI-C2), which
     #: zero-fills on allocation — part of the Julia gradient overhead.
     cache_space: str = "stack"
+    #: Run the shadow-memory race lint on the generated gradient and
+    #: raise :class:`repro.sanitize.lint.LintError` if it reports a
+    #: provable race.  Lint results are kept on the transform
+    #: (``ADTransform.lint_result``) either way.
+    sanitize: bool = False
+    #: Testing/ablation override: force every parallel-region shadow
+    #: increment to "serial" / "reduction" / "atomic" regardless of the
+    #: thread-locality analysis.  "serial" deliberately seeds races —
+    #: the sanitizer's cross-validation harness uses it.
+    force_increment_kind: Optional[str] = None
 
 
 def _top_level_ancestor(op: Op) -> Op:
@@ -182,6 +192,8 @@ class ADTransform:
         self._active_scalar: Optional[Argument] = None
         self._spawn_of_wait: dict[Op, tuple[Op, list]] = {}
         self._slots_by_outer_dim: dict[Optional[Op], list[CacheSlot]] = {}
+        self.lint_result = None              # set when config.sanitize
+        self._mpi_buffers: list = []
 
     # ==================================================================
     # Entry point
@@ -207,6 +219,7 @@ class ADTransform:
                 f"activities")
 
         self.aliasing = analyze_aliasing(self.fn, self.module)
+        self._mpi_buffers = self._collect_mpi_buffers()
         duplicated = {a for a, k in zip(self.fn.args, self.activities)
                       if k == Duplicated}
         actives = {a for a, k in zip(self.fn.args, self.activities)
@@ -262,6 +275,12 @@ class ADTransform:
         if self.config.verify:
             from ..ir.verifier import verify_function
             verify_function(self.grad, self.module)
+        self.lint_result = None
+        if self.config.sanitize:
+            from ..sanitize.lint import LintError, lint_function
+            self.lint_result = lint_function(self.grad, self.module)
+            if self.lint_result.errors:
+                raise LintError(self.lint_result)
         return self.grad_name
 
     # ==================================================================
@@ -900,6 +919,25 @@ class ADTransform:
             self._adj_accum(op.operands[i], contrib, scope)
 
     # --- memory adjoints -------------------------------------------------
+    def _collect_mpi_buffers(self) -> list:
+        """Pointer operands of ``mpi.*`` calls in the working copy.
+
+        Their shadows participate in adjoint message exchange, so the
+        ``atomic_everywhere`` ablation must keep their increments atomic
+        even outside fork regions (see :func:`repro.ad.tls.increment_kind`).
+        """
+        bufs = []
+        for o in self.fn.walk():
+            if o.opcode == "call" and o.attrs.get("callee",
+                                                  "").startswith("mpi."):
+                bufs.extend(v for v in o.operands
+                            if isinstance(v.type, PointerType))
+        return bufs
+
+    def _escapes_mpi(self, ptr: Value) -> bool:
+        return any(self.aliasing.may_alias(ptr, mb)
+                   for mb in self._mpi_buffers)
+
     def _reverse_load(self, op: LoadOp, scope: _Scope) -> None:
         b = self.b
         elem = op.result.type
@@ -922,7 +960,14 @@ class ADTransform:
         region, ivars = parallel_context(op)
         kind = increment_kind(op.operands[0], op.operands[1], ivars,
                               self.aliasing, region,
-                              atomic_everywhere=self.config.atomic_everywhere)
+                              atomic_everywhere=self.config.atomic_everywhere,
+                              mpi_escapes=self._escapes_mpi(op.operands[0]))
+        if self.config.force_increment_kind is not None and region is not None:
+            kind = self.config.force_increment_kind
+            if kind not in (SERIAL, ATOMIC, REDUCTION):
+                raise ValueError(
+                    f"force_increment_kind={kind!r}; expected one of "
+                    f"{SERIAL!r}, {ATOMIC!r}, {REDUCTION!r}")
         self._emit_increment(kind, adj, sp, idx)
 
     def _emit_increment(self, kind: str, adj: Value, sp: Value,

@@ -63,7 +63,8 @@ class LuleshApp:
     def __init__(self, flavor: str, nx: int, pr: int = 1,
                  params: LuleshParams = DEFAULT_PARAMS,
                  ad_config: Optional[ADConfig] = None,
-                 machine: Optional[MachineModel] = None) -> None:
+                 machine: Optional[MachineModel] = None,
+                 sanitize: bool = False) -> None:
         if flavor not in FLAVORS:
             raise ValueError(f"unknown flavor {flavor!r}; "
                              f"choose from {sorted(FLAVORS)}")
@@ -76,6 +77,8 @@ class LuleshApp:
         self.ad_config = ad_config or ADConfig()
         if self.flavor.style == "julia":
             self.ad_config.cache_space = "gc"
+        #: Run every execution under the dynamic race checker.
+        self.sanitize = sanitize
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -108,7 +111,7 @@ class LuleshApp:
     def _config(self, num_threads: int) -> ExecConfig:
         impl = "mpich" if self.flavor.style == "julia" else "openmpi"
         return ExecConfig(num_threads=num_threads, machine=self.machine,
-                          mpi_impl=impl)
+                          mpi_impl=impl, sanitize=self.sanitize)
 
     # ------------------------------------------------------------------
     def run_forward(self, domains: list[Domain], steps: int,

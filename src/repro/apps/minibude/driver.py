@@ -27,7 +27,8 @@ class MinibudeApp:
     def __init__(self, variant: str, deck: Optional[Deck] = None,
                  ntasks: int = 8,
                  ad_config: Optional[ADConfig] = None,
-                 machine: Optional[MachineModel] = None) -> None:
+                 machine: Optional[MachineModel] = None,
+                 sanitize: bool = False) -> None:
         self.variant = variant
         self.deck = deck or make_deck()
         self.machine = machine or c6i_metal()
@@ -37,6 +38,8 @@ class MinibudeApp:
         self.ad_config = ad_config or ADConfig()
         if variant == "julia":
             self.ad_config.cache_space = "gc"
+        #: Run every execution under the dynamic race checker.
+        self.sanitize = sanitize
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -48,7 +51,8 @@ class MinibudeApp:
         return self._grad
 
     def _config(self, num_threads: int) -> ExecConfig:
-        return ExecConfig(num_threads=num_threads, machine=self.machine)
+        return ExecConfig(num_threads=num_threads, machine=self.machine,
+                          sanitize=self.sanitize)
 
     def _args(self) -> tuple[dict, tuple]:
         flat = self.deck.flat_args()

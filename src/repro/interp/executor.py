@@ -43,6 +43,17 @@ class Executor:
     def cost(self):
         return self.interp.raw_total
 
+    @property
+    def racecheck(self):
+        """The dynamic race checker (None unless ExecConfig.sanitize)."""
+        return self.interp.racecheck
+
+    @property
+    def races(self) -> list:
+        """RaceReports collected so far (empty when sanitizing is off)."""
+        rc = self.interp.racecheck
+        return list(rc.reports) if rc is not None else []
+
     def reset_clock(self) -> None:
         self.interp.clock = 0.0
         from ..perf.cost import CostVector

@@ -63,6 +63,13 @@ class ExecConfig:
     mpi_impl: str = "openmpi"
     max_while_iters: int = 10_000_000
     max_call_depth: int = 64
+    #: Enable the dynamic race sanitizer (vector-clock happens-before
+    #: checking of every memory access).  Off by default: the hot paths
+    #: then only test one attribute per structured construct.
+    sanitize: bool = False
+    #: When sanitizing, raise RaceReport at the first race (else collect
+    #: all reports on the checker).
+    sanitize_raise: bool = True
 
 
 def chunk_bounds(lb: int, ub: int, step: int, tid: int, nthreads: int
@@ -135,6 +142,18 @@ class Interpreter:
 
         #: Optional tape plugin (operator-overloading baseline).
         self.tape = None
+
+        #: Dynamic race sanitizer (None when off — every hook below is
+        #: guarded by a single attribute test so the default path pays
+        #: no per-access cost).  SimMPI replaces these so all ranks
+        #: share one checker.
+        self.racecheck = None
+        self._rc_tid = -1
+        if self.config.sanitize:
+            from ..sanitize.racecheck import RaceChecker
+            self.racecheck = RaceChecker(
+                raise_on_race=self.config.sanitize_raise)
+            self._rc_tid = self.racecheck.new_thread("main")
 
         self.intrinsics_simple: dict[str, Callable] = dict(_SIMPLE_INTRINSICS)
         self.intrinsics_gen: dict[str, Callable] = dict(_GEN_INTRINSICS)
@@ -246,6 +265,10 @@ class Interpreter:
                 ptr = get(op.operands[0], env)
                 val = get(op.operands[1], env)
                 count = int(get(op.operands[2], env))
+                if self.racecheck is not None:
+                    self.racecheck.on_write(
+                        self._rc_tid, ptr,
+                        np.arange(count, dtype=np.int64), op)
                 self.memory.memset(ptr, val, count)
                 self.cost.add_store(count * 8)
                 if self.tape is not None:
@@ -254,6 +277,10 @@ class Interpreter:
                 dst = get(op.operands[0], env)
                 src = get(op.operands[1], env)
                 count = int(get(op.operands[2], env))
+                if self.racecheck is not None:
+                    span = np.arange(count, dtype=np.int64)
+                    self.racecheck.on_read(self._rc_tid, src, span, op)
+                    self.racecheck.on_write(self._rc_tid, dst, span, op)
                 self.memory.memcpy(dst, src, count)
                 self.cost.add_load(count * 8)
                 self.cost.add_store(count * 8)
@@ -306,6 +333,8 @@ class Interpreter:
     def _exec_load(self, op: Op, env: dict) -> None:
         ptr: PtrVal = self._get(op.operands[0], env)
         idx = self._get(op.operands[1], env)
+        if self.racecheck is not None:
+            self.racecheck.on_read(self._rc_tid, ptr, idx, op, self.mask)
         if self.mask is not None and isinstance(idx, np.ndarray):
             # Masked-out lanes may carry garbage indices; neutralize them.
             idx = np.where(self.mask, idx, 0)
@@ -324,6 +353,8 @@ class Interpreter:
         ptr: PtrVal = self._get(op.operands[1], env)
         idx = self._get(op.operands[2], env)
         mask = self.mask
+        if self.racecheck is not None:
+            self.racecheck.on_write(self._rc_tid, ptr, idx, op, mask)
         if mask is not None and isinstance(idx, np.ndarray):
             idx = np.where(mask, idx, 0)
             # keep mask for the scatter itself
@@ -341,6 +372,9 @@ class Interpreter:
         ptr: PtrVal = self._get(op.operands[1], env)
         idx = self._get(op.operands[2], env)
         mask = self.mask
+        if self.racecheck is not None:
+            self.racecheck.on_write(self._rc_tid, ptr, idx, op, mask,
+                                    atomic=True)
         if mask is not None and isinstance(idx, np.ndarray):
             idx = np.where(mask, idx, 0)
         w = max(self._width(val), self._width(idx))
@@ -465,6 +499,10 @@ class Interpreter:
         saved_mask, saved_count = self.mask, self.mask_count
         self.mask, self.mask_count = None, 0
         self._noyield += 1
+        rc = self.racecheck
+        rc_parent = self._rc_tid
+        rc_children = (rc.region_begin(rc_parent, nthreads, "pfor")
+                       if rc is not None else None)
         thread_costs: list[CostVector] = []
         try:
             for t in range(nthreads):
@@ -472,6 +510,8 @@ class Interpreter:
                 c = CostVector()
                 self.cost = c
                 self.current_thread = t
+                if rc_children is not None:
+                    self._rc_tid = rc_children[t]
                 if hi > lo:
                     idx = np.arange(lo, hi, dtype=np.int64)
                     env[ivar] = idx
@@ -490,6 +530,9 @@ class Interpreter:
             self.cost = saved_cost
             self.current_thread = saved_thread
             self.mask, self.mask_count = saved_mask, saved_count
+            if rc_children is not None:
+                self._rc_tid = rc_parent
+                rc.region_end(rc_parent, rc_children)
         self.clock += self.machine.parallel_region_time(
             thread_costs, nthreads, self.procs_on_node)
         if self.tape is not None:
@@ -522,6 +565,10 @@ class Interpreter:
         self._fork_width = nthreads
         self._noyield += 1
         self._fork_depth += 1
+        rc = self.racecheck
+        rc_parent = self._rc_tid
+        rc_children = (rc.region_begin(rc_parent, nthreads, "fork")
+                       if rc is not None else None)
         region_seconds = self.machine.fork_overhead(nthreads)
         pending = dict(enumerate(gens))
         try:
@@ -532,6 +579,8 @@ class Interpreter:
                     c = CostVector()
                     self.cost = c
                     self.current_thread = t
+                    if rc_children is not None:
+                        self._rc_tid = rc_children[t]
                     try:
                         ev = next(pending[t])
                         if not isinstance(ev, BarrierEvent):
@@ -548,6 +597,8 @@ class Interpreter:
                     raise InterpreterError(
                         "barrier deadlock: some threads finished while "
                         "others wait at a barrier")
+                if at_barrier and rc_children is not None:
+                    rc.barrier([rc_children[t] for t in at_barrier])
                 region_seconds += self.machine.phase_time(
                     phase_costs, nthreads, self.procs_on_node)
         finally:
@@ -556,6 +607,9 @@ class Interpreter:
             self.cost = saved_cost
             self.current_thread = saved_thread
             self._fork_width = saved_width
+            if rc_children is not None:
+                self._rc_tid = rc_parent
+                rc.region_end(rc_parent, rc_children)
         self.clock += region_seconds
         if self.tape is not None:
             self.tape.on_parallel_region(nthreads)
@@ -610,14 +664,22 @@ class Interpreter:
         c = CostVector()
         self.cost = c
         self._noyield += 1
+        rc = self.racecheck
+        rc_parent = self._rc_tid
+        rc_task = -1
+        if rc is not None:
+            rc_task = rc.task_begin(rc_parent, f"task#{self._task_ids}")
+            self._rc_tid = rc_task
         try:
             yield from self._exec_block(op.regions[0], env)
         finally:
             self._noyield -= 1
             self.cost = saved_cost
             self.current_thread = saved_thread
+            self._rc_tid = rc_parent
         self.raw_total.merge(c)
         task = TaskVal(c, self.clock)
+        task.rc_tid = rc_task
         self.tasks.procs_on_node = self.procs_on_node
         self.tasks.schedule(task)
         env[op.result] = task
@@ -723,6 +785,8 @@ def _h_task_wait(interp, op, args):
         raise InterpreterError(f"task.wait on non-task {task!r}")
     interp.flush_serial()
     interp.clock = max(interp.clock, task.finish_clock)
+    if interp.racecheck is not None and task.rc_tid >= 0:
+        interp.racecheck.task_join(interp._rc_tid, task.rc_tid)
     return None
 
 

@@ -44,11 +44,44 @@ def _np_dtype(elem: Type):
     return object  # pointers, handles
 
 
+class CellClocks:
+    """Per-cell happens-before metadata for the race sanitizer.
+
+    One instance shadows one :class:`Buffer` when the dynamic race
+    checker (:mod:`repro.sanitize.racecheck`) is enabled.  Each cell
+    remembers its last-writer and last-reader *epochs* — ``(thread,
+    clock-at-access)`` pairs in FastTrack style — plus the op that
+    performed the access, so a :class:`~repro.sanitize.racecheck.
+    RaceReport` can name both conflicting operations.  Cells observed
+    by several concurrent readers escalate into the sparse ``shared``
+    read map.
+
+    Allocation happens lazily on first sanitized access; when the
+    sanitizer is off (the default) a buffer carries only a ``None``
+    slot and the interpreter hot paths never touch this class.
+    """
+
+    __slots__ = ("w_tid", "w_clk", "w_atomic", "w_op",
+                 "r_tid", "r_clk", "r_atomic", "r_op", "shared")
+
+    def __init__(self, count: int) -> None:
+        self.w_tid = np.full(count, -1, dtype=np.int64)
+        self.w_clk = np.zeros(count, dtype=np.int64)
+        self.w_atomic = np.zeros(count, dtype=bool)
+        self.w_op = np.empty(count, dtype=object)
+        self.r_tid = np.full(count, -1, dtype=np.int64)
+        self.r_clk = np.zeros(count, dtype=np.int64)
+        self.r_atomic = np.zeros(count, dtype=bool)
+        self.r_op = np.empty(count, dtype=object)
+        #: Escalated read cells: index -> {tid: (clock, op)}.
+        self.shared: dict[int, dict] = {}
+
+
 class Buffer:
     """A contiguous allocation of ``count`` slots of one element type."""
 
     __slots__ = ("bid", "elem", "data", "space", "freed", "name",
-                 "thread_local_of", "stream")
+                 "thread_local_of", "stream", "shadow_meta")
 
     def __init__(self, count: int, elem: Type, space: str = "stack",
                  name: str = "", data: Optional[np.ndarray] = None) -> None:
@@ -71,6 +104,10 @@ class Buffer:
         #: Thread id if this buffer was allocated inside a parallel
         #: region (then it is thread-local by construction).
         self.thread_local_of: Optional[int] = None
+        #: Per-cell vector-clock metadata (:class:`CellClocks`), created
+        #: lazily by the race sanitizer; always None when sanitizing is
+        #: off so the default hot paths pay nothing.
+        self.shadow_meta: Optional[CellClocks] = None
 
     @property
     def count(self) -> int:
@@ -125,7 +162,7 @@ class TokenVal:
 class TaskVal:
     """A completed-eagerly task handle with its simulated schedule."""
 
-    __slots__ = ("cost", "spawn_clock", "finish_clock", "tid")
+    __slots__ = ("cost", "spawn_clock", "finish_clock", "tid", "rc_tid")
     _ids = itertools.count()
 
     def __init__(self, cost, spawn_clock: float) -> None:
@@ -133,6 +170,8 @@ class TaskVal:
         self.spawn_clock = spawn_clock
         self.finish_clock = spawn_clock
         self.tid = next(TaskVal._ids)
+        #: Race-checker logical thread of the task body (-1 when off).
+        self.rc_tid = -1
 
 
 class DynCache:

@@ -53,6 +53,49 @@ def print_function(fn: Function) -> str:
     return out.getvalue()
 
 
+class _OpsView:
+    """Duck-typed block holding a chosen op list (for print_op)."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: list) -> None:
+        self.ops = ops
+
+
+def _op_context(op: Op) -> str:
+    """Enclosing-region path of an op, e.g. ``@fn / fork / if``."""
+    parts = []
+    blk = op.parent
+    while blk is not None:
+        pop = blk.parent_op
+        if pop is None:
+            fn = blk.parent_function
+            if fn is not None:
+                parts.append(f"@{getattr(fn, 'name', fn)}")
+            break
+        parts.append(pop.opcode)
+        blk = pop.parent
+    return " / ".join(reversed(parts))
+
+
+def print_op(op: Op, context: bool = True) -> str:
+    """Render one op as provenance for diagnostics: its printed form
+    (region bodies elided) plus the enclosing-region path."""
+    namer = _Namer()
+    if op.regions:
+        args = ", ".join(namer.name(v) for v in op.operands)
+        line = f"{op.opcode} {args}".rstrip() + f"{_fmt_attrs(op)} {{...}}"
+    else:
+        out = io.StringIO()
+        _print_block(_OpsView([op]), out, namer, indent=0)
+        line = out.getvalue().rstrip("\n")
+    if context:
+        ctx = _op_context(op)
+        if ctx:
+            line += f"   [in {ctx}]"
+    return line
+
+
 def _fmt_attrs(op: Op, skip=("callee",)) -> str:
     items = [f'{k}={v!r}' for k, v in sorted(op.attrs.items())
              if k not in skip and v not in (False, None, {}, [])]

@@ -46,7 +46,8 @@ class EngineRequest:
     """Engine-side nonblocking-operation handle."""
 
     __slots__ = ("rid", "kind", "rank", "peer", "tag", "count", "buf",
-                 "complete_at", "matched", "message")
+                 "complete_at", "matched", "message", "rc_tid",
+                 "post_clock")
 
     def __init__(self, kind: str, rank: int, peer: int, tag: int,
                  count: int, buf) -> None:
@@ -60,18 +61,26 @@ class EngineRequest:
         self.complete_at: Optional[float] = None
         self.matched = False
         self.message = None
+        #: Race-checker thread of the in-flight delivery (-1 when off).
+        self.rc_tid = -1
+        #: Receiver's vector-clock snapshot at posting time: delivery
+        #: happens-after the receive was posted, so pre-post accesses to
+        #: the buffer by the receiver itself are ordered, not racy.
+        self.post_clock = None
 
 
 class _Message:
-    __slots__ = ("src", "dst", "tag", "data", "arrival")
+    __slots__ = ("src", "dst", "tag", "data", "arrival", "clock")
 
     def __init__(self, src: int, dst: int, tag: int, data: np.ndarray,
-                 arrival: float) -> None:
+                 arrival: float, clock=None) -> None:
         self.src = src
         self.dst = dst
         self.tag = tag
         self.data = data
         self.arrival = arrival
+        #: Sender's vector-clock snapshot (race sanitizer), or None.
+        self.clock = clock
 
 
 def _buf_slice(ptr: PtrVal, count: int) -> np.ndarray:
@@ -129,6 +138,19 @@ class SimMPI:
         # (dst, src, tag) -> FIFO of posted receive requests
         self._posted: dict[tuple, list[EngineRequest]] = {}
         self._collective: list = [None] * nprocs
+        #: Shared race checker across all ranks (None when off) — so
+        #: message edges order cross-rank shadow-buffer accesses.
+        self.checker = None
+        if self.base_config.sanitize:
+            from ..sanitize.racecheck import RaceChecker
+            self.checker = RaceChecker(
+                raise_on_race=self.base_config.sanitize_raise)
+
+    @property
+    def races(self) -> list:
+        """RaceReports collected so far (empty when sanitizing is off)."""
+        ck = self.checker
+        return list(ck.reports) if ck is not None else []
 
     # ------------------------------------------------------------------
     def run(self, fn_name: str, rank_args: Callable[[int], tuple] | list,
@@ -151,6 +173,10 @@ class SimMPI:
             interp.rank = r
             interp.nprocs = self.nprocs
             interp.procs_on_node = self.nprocs
+            if self.checker is not None:
+                # Replace the per-rank checker with the shared one.
+                interp.racecheck = self.checker
+                interp._rc_tid = self.checker.new_thread(f"rank{r}")
             gen = make_gen(r, ex)
             self.ranks.append(_RankState(gen, interp, ex))
 
@@ -200,7 +226,15 @@ class SimMPI:
             data = np.array(_buf_slice(ev.buf, ev.count))
             interp.clock += self.network.alpha
             arrival = interp.clock + self.network.ptp_time(8 * ev.count)
-            msg = _Message(r, ev.peer, ev.tag, data, arrival)
+            clock = None
+            ck = self.checker
+            if ck is not None:
+                ck.on_read(interp._rc_tid, ev.buf,
+                           np.arange(ev.count, dtype=np.int64),
+                           f"mpi.{kind} rank{r}->rank{ev.peer} "
+                           f"tag={ev.tag}")
+                clock = ck.snapshot(interp._rc_tid)
+            msg = _Message(r, ev.peer, ev.tag, data, arrival, clock)
             self._deliver(msg)
             if kind == "send":
                 st.pending_reply = None
@@ -211,16 +245,21 @@ class SimMPI:
             return True
         if kind == "irecv":
             req = EngineRequest("recv", r, ev.peer, ev.tag, ev.count, ev.buf)
+            if self.checker is not None:
+                req.post_clock = self.checker.snapshot(interp._rc_tid)
             self._posted.setdefault((r, ev.peer, ev.tag), []).append(req)
             self._match(r, ev.peer, ev.tag)
             st.pending_reply = req
             return True
         if kind == "recv":
             req = EngineRequest("recv", r, ev.peer, ev.tag, ev.count, ev.buf)
+            if self.checker is not None:
+                req.post_clock = self.checker.snapshot(interp._rc_tid)
             self._posted.setdefault((r, ev.peer, ev.tag), []).append(req)
             self._match(r, ev.peer, ev.tag)
             if req.matched:
                 interp.clock = max(interp.clock, req.complete_at)
+                self._rc_observe(interp, req)
                 st.pending_reply = None
                 return True
             st.blocked_on = ("req", req)
@@ -235,6 +274,7 @@ class SimMPI:
                 return True
             if req.matched:
                 interp.clock = max(interp.clock, req.complete_at)
+                self._rc_observe(interp, req)
                 st.pending_reply = None
                 return True
             st.blocked_on = ("req", req)
@@ -274,6 +314,22 @@ class SimMPI:
                 f"message size mismatch: sent {len(msg.data)}, "
                 f"receiving {req.count} (src={msg.src} dst={msg.dst} "
                 f"tag={msg.tag})")
+        ck = self.checker
+        if ck is not None:
+            # The in-flight delivery is its own logical thread: it is
+            # ordered after the send (clock snapshot) but concurrent
+            # with the receiver until the receiver observes completion
+            # — so touching an irecv buffer before mpi.wait races.
+            net = ck.new_thread(
+                f"msg rank{msg.src}->rank{msg.dst} tag={msg.tag}",
+                snapshot=msg.clock)
+            if req.post_clock is not None:
+                ck.join_snapshot(net, req.post_clock)
+            ck.on_write(net, req.buf,
+                        np.arange(req.count, dtype=np.int64),
+                        f"mpi delivery rank{msg.src}->rank{msg.dst} "
+                        f"tag={msg.tag}")
+            req.rc_tid = net
         _buf_slice(req.buf, req.count)[:] = msg.data
         req.matched = True
         req.message = msg
@@ -283,7 +339,15 @@ class SimMPI:
                 st.blocked_on[1] is req:
             st.blocked_on = None
             st.interp.clock = max(st.interp.clock, req.complete_at)
+            self._rc_observe(st.interp, req)
             st.pending_reply = None
+
+    def _rc_observe(self, interp: Interpreter, req: EngineRequest) -> None:
+        """Receiver observes a completed receive: acquire the delivery
+        thread's clock (and transitively the sender's)."""
+        ck = self.checker
+        if ck is not None and req.rc_tid >= 0:
+            ck.task_join(interp._rc_tid, req.rc_tid)
 
     # ------------------------------------------------------------------
     def _run_collective(self) -> None:
@@ -295,6 +359,37 @@ class SimMPI:
         kind = kinds.pop()
         t0 = max(st.interp.clock for st, _ in entries)
         P = self.nprocs
+
+        ck = self.checker
+        if ck is not None:
+            count = getattr(entries[0][1], "count", 0) or 0
+            span = np.arange(count, dtype=np.int64)
+            root = getattr(entries[0][1], "root", None)
+            # Send buffers are read before the exchange...
+            if kind in ("allreduce", "reduce", "winner_mask"):
+                for q, (st, ev) in enumerate(entries):
+                    ck.on_read(st.interp._rc_tid, ev.buf, span,
+                               f"mpi.{kind} sendbuf rank{q}")
+            elif kind == "bcast":
+                st_r, ev_r = entries[root]
+                ck.on_read(st_r.interp._rc_tid, ev_r.buf, span,
+                           f"mpi.bcast root rank{root}")
+            # ...the collective synchronizes all participants...
+            ck.barrier([st.interp._rc_tid for st, _ in entries])
+            # ...and result buffers are written after it.
+            if kind == "allreduce":
+                for q, (st, ev) in enumerate(entries):
+                    ck.on_write(st.interp._rc_tid, ev.recvbuf, span,
+                                f"mpi.allreduce recvbuf rank{q}")
+            elif kind == "reduce":
+                st_r, ev_r = entries[root]
+                ck.on_write(st_r.interp._rc_tid, ev_r.recvbuf, span,
+                            f"mpi.reduce recvbuf rank{root}")
+            elif kind == "bcast":
+                for q, (st, ev) in enumerate(entries):
+                    if q != root:
+                        ck.on_write(st.interp._rc_tid, ev.buf, span,
+                                    f"mpi.bcast recv rank{q}")
 
         if kind == "barrier":
             done = t0 + self.network.allreduce_time(8, P)

@@ -80,6 +80,22 @@ def default_pipeline(openmp_opt: bool = False,
     return PassManager(passes, verify_each=verify_each)
 
 
+def sanitize_pipeline(on_error: str = "ignore",
+                      verify_each: bool = False) -> PassManager:
+    """Analysis-only pipeline running the shadow-memory race lint.
+
+    The lint re-derives thread-locality of every write in parallel
+    regions and reports non-atomic shadow increments whose disjointness
+    proof fails (§VI-A1).  ``on_error="raise"`` turns lint errors into
+    a ``sanitize.lint.LintError``; the pass never mutates IR, so the
+    manager converges in one round.
+    """
+    from ..sanitize.lint import ShadowRaceLint
+
+    return PassManager([ShadowRaceLint(on_error=on_error)],
+                       verify_each=verify_each, max_rounds=1)
+
+
 def cleanup_pipeline(verify_each: bool = False) -> PassManager:
     """Post-AD cleanup (fold the index arithmetic the transform emits)."""
     from .constfold import ConstantFold

@@ -1,0 +1,43 @@
+"""Shadow-memory race sanitizer (static lint + dynamic checker).
+
+The paper's central correctness claim (§IV) is that adjoint shadow
+increments to non-thread-local memory must be atomic, and its headline
+performance claim (§VI-A1) is that the thread-locality analysis may
+legally *downgrade* atomics to serial or reduction increments.  A wrong
+downgrade is a silent data race that corrupts gradients — silent in
+this repository's simulated (serialized) execution, and racy on real
+hardware.  This package is the safety net:
+
+* :mod:`repro.sanitize.lint` — a static pass over differentiated IR
+  that re-derives thread-locality with the aliasing + TLS analyses and
+  reports every non-atomic shadow increment inside a fork/MPI region
+  whose disjointness proof fails, as structured diagnostics;
+* :mod:`repro.sanitize.racecheck` — a vector-clock happens-before
+  detector threaded through the interpreter (``ExecConfig.sanitize``)
+  and the SimMPI engine, raising :class:`RaceReport` on any unordered
+  conflicting pair of accesses.
+
+The two layers cross-validate: lint-clean programs must run race-free
+under the dynamic checker (see ``tests/properties``).
+"""
+
+from .lint import (
+    Diagnostic,
+    LintError,
+    LintResult,
+    ShadowRaceLint,
+    lint_function,
+    lint_module,
+)
+from .racecheck import RaceChecker, RaceReport
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintResult",
+    "ShadowRaceLint",
+    "lint_function",
+    "lint_module",
+    "RaceChecker",
+    "RaceReport",
+]

@@ -51,13 +51,57 @@ def render(name: str, data: dict, plot: bool = True) -> str:
     return text
 
 
+def render_sanitize_report(payload: dict) -> str:
+    """Render sanitizer JSON (lint or racecheck) as a benchmark table."""
+    tool = payload.get("tool")
+    if tool == "lint":
+        rows = [{"severity": d["severity"], "code": d["code"],
+                 "op": d["op"], "message": d["message"]}
+                for d in payload.get("diagnostics", [])]
+        counts = payload.get("counts", {})
+        title = (f"sanitize-lint @{payload.get('fn', '?')}: "
+                 f"{counts.get('error', 0)} error(s), "
+                 f"{counts.get('warn', 0)} warning(s)")
+        if not rows:
+            return f"== {title} ==\nclean\n"
+        cols = list(rows[0].keys())
+        return format_table(title, cols,
+                            [[r.get(c) for c in cols] for r in rows])
+    if tool == "racecheck":
+        rows = [{"kind": r["kind"],
+                 "location": f"{r['buffer']}[{r['index']}]",
+                 "thread": r["thread"], "prev_thread": r["prev_thread"],
+                 "op": r["op"], "prev_op": r["prev_op"]}
+                for r in payload.get("races", [])]
+        title = (f"racecheck: {len(rows)} race(s), "
+                 f"{payload.get('accesses_checked', 0)} accesses checked, "
+                 f"{len(payload.get('threads', []))} logical threads")
+        if not rows:
+            return f"== {title} ==\nclean\n"
+        cols = list(rows[0].keys())
+        return format_table(title, cols,
+                            [[r.get(c) for c in cols] for r in rows])
+    raise ValueError(f"not a sanitizer report (tool={tool!r}); expected "
+                     f"LintResult.to_json() or RaceChecker.to_json() output")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--results", type=pathlib.Path, default=DEFAULT_DIR)
     ap.add_argument("--no-plots", action="store_true")
+    ap.add_argument("--sanitize-report", metavar="FILE", action="append",
+                    type=pathlib.Path, default=[],
+                    help="render a sanitizer JSON report (lint or "
+                         "racecheck output) instead of benchmark results; "
+                         "repeatable")
     ap.add_argument("names", nargs="*",
                     help="result names to show (default: all)")
     args = ap.parse_args(argv)
+    if args.sanitize_report:
+        for path in args.sanitize_report:
+            with open(path) as f:
+                print(render_sanitize_report(json.load(f)))
+        return 0
     data = load(args.results)
     if not data:
         print(f"no results in {args.results}; run "

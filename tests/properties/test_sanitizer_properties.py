@@ -1,0 +1,96 @@
+"""Property-based soundness check for the race sanitizer.
+
+Hypothesis generates random fork-region access patterns (disjoint /
+uniform / guarded stores, atomics, loads, barriers).  The static lint's
+contract is one-directional: a program it reports *fully clean* (no
+errors and no warnings) must produce zero reports from the dynamic
+vector-clock checker at any thread count.  Warned programs may or may
+not race — the lint is conservative — but a clean verdict is a proof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr
+from repro.sanitize import lint_function
+
+NA = {"noalias": True}
+
+BUF = 16          # cells in the shared buffer
+MAXT = 4          # max thread count exercised dynamically
+
+# One fork-body statement: (kind, cell, guard) where guard is a thread
+# id (guarded store) or None (unguarded).
+_stmt = st.one_of(
+    st.tuples(st.just("store_tid"), st.just(0), st.none()),
+    st.tuples(st.just("store_cell"), st.integers(0, 3),
+              st.none() | st.integers(0, MAXT - 1)),
+    st.tuples(st.just("atomic_cell"), st.integers(0, 3), st.none()),
+    st.tuples(st.just("load_cell"), st.integers(0, 3),
+              st.none() | st.integers(0, MAXT - 1)),
+    st.tuples(st.just("barrier"), st.just(0), st.none()),
+)
+
+
+def _build(stmts):
+    b = IRBuilder()
+    with b.function("f", [("y", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        y, n = f.args
+        with b.fork(0) as (tid, nth):
+            for kind, cell, guard in stmts:
+                if kind == "barrier":
+                    b.barrier()
+                    continue
+                if guard is not None:
+                    with b.if_(b.cmp("eq", tid, guard)):
+                        _emit(b, kind, cell, tid, y)
+                else:
+                    _emit(b, kind, cell, tid, y)
+    return b
+
+
+def _emit(b, kind, cell, tid, y):
+    if kind == "store_tid":
+        b.store(1.0, y, tid)
+    elif kind == "store_cell":
+        b.store(2.0, y, cell)
+    elif kind == "atomic_cell":
+        b.atomic_add(1.0, y, cell)
+    elif kind == "load_cell":
+        v = b.load(y, cell)
+        b.store(v, y, b.add(tid, 8))    # private spill, disjoint range
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_stmt, min_size=1, max_size=7))
+def test_lint_clean_implies_no_dynamic_race(stmts):
+    b = _build(stmts)
+    res = lint_function(b.module.functions["f"], b.module)
+    if not (res.clean and not res.warnings):
+        return  # conservative verdict: no claim either way
+    for nt in (2, MAXT):
+        ex = Executor(b.module, ExecConfig(
+            num_threads=nt, sanitize=True, sanitize_raise=False))
+        ex.run("f", np.zeros(BUF), BUF)
+        assert ex.races == [], (
+            f"lint-clean program raced at {nt} threads:\n"
+            f"{ex.races[0]}\nstmts={stmts}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_stmt, min_size=1, max_size=7))
+def test_dynamic_checker_never_crashes_or_corrupts(stmts):
+    """The checker itself must not alter results: a sanitized run and a
+    plain run produce identical final buffers."""
+    b = _build(stmts)
+    buf_plain = np.zeros(BUF)
+    Executor(b.module, ExecConfig(num_threads=2)).run("f", buf_plain, BUF)
+    buf_san = np.zeros(BUF)
+    Executor(b.module, ExecConfig(
+        num_threads=2, sanitize=True,
+        sanitize_raise=False)).run("f", buf_san, BUF)
+    np.testing.assert_array_equal(buf_plain, buf_san)

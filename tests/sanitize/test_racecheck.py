@@ -1,0 +1,275 @@
+"""Dynamic vector-clock race checker: detection, HB edges, zero-cost-off."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor
+from repro.ir import F64, I64, IRBuilder, Ptr
+from repro.parallel.mpi import SimMPI
+from repro.sanitize import RaceChecker, RaceReport
+
+NA = {"noalias": True}
+
+
+def _run(b, fn, cfg, *args):
+    ex = Executor(b.module, cfg)
+    ex.run(fn, *args)
+    return ex
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory detection
+# ---------------------------------------------------------------------------
+
+def test_write_write_race_detected_and_named():
+    b = IRBuilder()
+    with b.function("racy", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(2.0, x, 0)
+    with pytest.raises(RaceReport) as exc:
+        _run(b, "racy", ExecConfig(num_threads=4, sanitize=True),
+             np.zeros(4), 4)
+    r = exc.value
+    assert r.kind == "write-write"
+    assert r.buffer_name == "x" and r.index == 0
+    # Both ops are named, with provenance.
+    msg = str(r)
+    assert "store 2.0, %x[0]" in msg
+    assert "parallel_for" in msg
+
+
+def test_disjoint_writes_clean():
+    b = IRBuilder()
+    with b.function("ok", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, i)
+            b.store(v * 2.0, x, i)
+    ex = _run(b, "ok", ExecConfig(num_threads=4, sanitize=True),
+              np.arange(8.0), 8)
+    assert ex.races == []
+    assert ex.racecheck.accesses_checked > 0
+
+
+def test_atomic_increments_clean():
+    b = IRBuilder()
+    with b.function("at", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.atomic_add(1.0, x, 0)
+    ex = _run(b, "at", ExecConfig(num_threads=4, sanitize=True),
+              np.zeros(1), 8)
+    assert ex.races == []
+
+
+def test_atomic_vs_plain_write_races():
+    b = IRBuilder()
+    with b.function("ap", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.fork(0) as (tid, nth):
+            with b.if_(b.cmp("eq", tid, 0)):
+                b.store(1.0, x, 0)
+            with b.if_(b.cmp("eq", tid, 1)):
+                b.atomic_add(1.0, x, 0)
+    with pytest.raises(RaceReport) as exc:
+        _run(b, "ap", ExecConfig(num_threads=2, sanitize=True),
+             np.zeros(1), 1)
+    assert exc.value.kind == "write-write"
+
+
+def test_read_read_is_not_a_race_and_join_orders_later_write():
+    b = IRBuilder()
+    with b.function("rr", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            v = b.load(x, 0)          # concurrent reads: fine
+            b.store(v, x, i + 1)
+        b.store(9.0, x, 0)            # after join: ordered
+    ex = _run(b, "rr", ExecConfig(num_threads=4, sanitize=True),
+              np.zeros(16), 8)
+    assert ex.races == []
+
+
+def test_barrier_separates_fork_phases():
+    b = IRBuilder()
+    with b.function("fk", [("y", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        y, n = f.args
+        with b.fork(0) as (tid, nth):
+            with b.if_(b.cmp("eq", tid, 0)):
+                b.store(1.0, y, 0)
+            b.barrier()
+            v = b.load(y, 0)
+            b.barrier()
+            b.store(v, y, tid)
+    ex = _run(b, "fk", ExecConfig(num_threads=4, sanitize=True),
+              np.zeros(8), 8)
+    assert ex.races == []
+
+
+def test_missing_barrier_is_a_race():
+    b = IRBuilder()
+    with b.function("fk2", [("y", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        y, n = f.args
+        with b.fork(0) as (tid, nth):
+            with b.if_(b.cmp("eq", tid, 0)):
+                b.store(1.0, y, 0)
+            v = b.load(y, 0)          # unordered vs thread 0's store
+            b.store(v, y, tid)
+    with pytest.raises(RaceReport):
+        _run(b, "fk2", ExecConfig(num_threads=4, sanitize=True),
+             np.zeros(8), 8)
+
+
+def test_spawn_wait_orders_task_accesses():
+    b = IRBuilder()
+    with b.function("tw", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.spawn() as task:
+            b.store(5.0, x, 0)
+        b.wait_task(task)
+        v = b.load(x, 0)              # ordered by the wait
+        b.store(v, x, 1)
+    ex = _run(b, "tw", ExecConfig(num_threads=2, sanitize=True),
+              np.zeros(4), 4)
+    assert ex.races == []
+
+
+def test_collect_mode_does_not_raise():
+    b = IRBuilder()
+    with b.function("racy", [("x", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(2.0, x, 0)
+    ex = _run(b, "racy",
+              ExecConfig(num_threads=4, sanitize=True, sanitize_raise=False),
+              np.zeros(4), 4)
+    assert len(ex.races) >= 1
+    d = ex.races[0].to_dict()
+    assert d["kind"] == "write-write" and d["buffer"] == "x"
+    json.dumps(ex.racecheck.to_json())  # JSON-serializable
+
+
+def test_zero_cost_when_off():
+    b = IRBuilder()
+    with b.function("ok", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.parallel_for(0, n) as i:
+            b.store(1.0, x, i)
+    ex = Executor(b.module, ExecConfig(num_threads=2))
+    assert ex.interp.racecheck is None
+    ex.run("ok", np.zeros(4), 4)
+    # No shadow metadata was materialised on any buffer.
+    assert all(buf.shadow_meta is None
+               for buf in ex.interp.memory.buffers.values())
+
+
+# ---------------------------------------------------------------------------
+# MPI happens-before edges
+# ---------------------------------------------------------------------------
+
+def _mpi_cfg():
+    return ExecConfig(sanitize=True)
+
+
+def test_send_recv_creates_hb_edge():
+    b = IRBuilder()
+    with b.function("pp", [("buf", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        buf, n = f.args
+        r = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", r, 0)):
+            b.store(3.5, buf, 0)
+            b.call("mpi.send", buf, n, 1, 7)
+        with b.if_(b.cmp("eq", r, 1)):
+            b.call("mpi.recv", buf, n, 0, 7)
+            v = b.load(buf, 0)
+            b.store(v * 2.0, buf, 1)
+    mpi = SimMPI(b.module, nprocs=2, config=_mpi_cfg())
+    mpi.run("pp", lambda r: (np.zeros(4), 4))
+    assert mpi.races == []
+
+
+def test_pre_recv_access_is_ordered_before_delivery():
+    """A blocking recv posted *after* a local load cannot race with it."""
+    b = IRBuilder()
+    with b.function("k", [("buf", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        buf, n = f.args
+        r = b.call("mpi.comm_rank")
+        v = b.load(buf, 0)            # before the recv is posted
+        with b.if_(b.cmp("eq", r, 0)):
+            b.store(v, buf, 1)
+            b.call("mpi.send", buf, n, 1, 5)
+        with b.if_(b.cmp("eq", r, 1)):
+            b.call("mpi.recv", buf, n, 0, 5)
+    mpi = SimMPI(b.module, nprocs=2, config=_mpi_cfg())
+    mpi.run("k", lambda r: (np.zeros(4), 4))
+    assert mpi.races == []
+
+
+def test_irecv_window_access_races_with_delivery():
+    b = IRBuilder()
+    with b.function("iw", [("buf", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, {}]) as f:
+        buf, n = f.args
+        r = b.call("mpi.comm_rank")
+        with b.if_(b.cmp("eq", r, 0)):
+            b.store(1.0, buf, 0)
+            b.call("mpi.send", buf, n, 1, 3)
+        with b.if_(b.cmp("eq", r, 1)):
+            req = b.call("mpi.irecv", buf, n, 0, 3)
+            v = b.load(buf, 0)        # inside the in-flight window
+            b.call("mpi.wait", req)
+            b.store(v, buf, 1)
+    mpi = SimMPI(b.module, nprocs=2, config=_mpi_cfg())
+    with pytest.raises(RaceReport) as exc:
+        mpi.run("iw", lambda r: (np.zeros(4), 4))
+    assert "delivery" in str(exc.value)
+
+
+def test_collectives_join_all_ranks():
+    b = IRBuilder()
+    with b.function("ar", [("s", Ptr()), ("d", Ptr()), ("n", I64)],
+                    arg_attrs=[NA, NA, {}]) as f:
+        s, d, n = f.args
+        r = b.call("mpi.comm_rank")
+        b.store(b.itof(r), s, 0)
+        b.call("mpi.allreduce", s, d, n, op="sum")
+        v = b.load(d, 0)
+        b.store(v, s, 1)
+    mpi = SimMPI(b.module, nprocs=4, config=_mpi_cfg())
+    mpi.run("ar", lambda r: (np.zeros(4), np.zeros(4), 4))
+    assert mpi.races == []
+
+
+# ---------------------------------------------------------------------------
+# Checker primitives
+# ---------------------------------------------------------------------------
+
+def test_vector_clock_primitives():
+    ck = RaceChecker()
+    main = ck.new_thread("main")
+    kids = ck.region_begin(main, 3, "r")
+    assert len(kids) == 3 and len({ck.label(t) for t in kids}) == 3
+    ck.barrier(kids)
+    ck.region_end(main, kids)
+    t = ck.task_begin(main, "t")
+    ck.task_join(main, t)
+    snap = ck.snapshot(main)
+    other = ck.new_thread("other")
+    ck.join_snapshot(other, snap)
+    assert ck.reports == []
