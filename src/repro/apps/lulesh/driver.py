@@ -64,7 +64,7 @@ class LuleshApp:
                  params: LuleshParams = DEFAULT_PARAMS,
                  ad_config: Optional[ADConfig] = None,
                  machine: Optional[MachineModel] = None,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False, backend: str = "interp") -> None:
         if flavor not in FLAVORS:
             raise ValueError(f"unknown flavor {flavor!r}; "
                              f"choose from {sorted(FLAVORS)}")
@@ -79,6 +79,8 @@ class LuleshApp:
             self.ad_config.cache_space = "gc"
         #: Run every execution under the dynamic race checker.
         self.sanitize = sanitize
+        #: "interp" or "compiled" (see ExecConfig.backend).
+        self.backend = backend
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -111,7 +113,8 @@ class LuleshApp:
     def _config(self, num_threads: int) -> ExecConfig:
         impl = "mpich" if self.flavor.style == "julia" else "openmpi"
         return ExecConfig(num_threads=num_threads, machine=self.machine,
-                          mpi_impl=impl, sanitize=self.sanitize)
+                          mpi_impl=impl, sanitize=self.sanitize,
+                          backend=self.backend)
 
     # ------------------------------------------------------------------
     def run_forward(self, domains: list[Domain], steps: int,

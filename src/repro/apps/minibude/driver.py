@@ -28,7 +28,7 @@ class MinibudeApp:
                  ntasks: int = 8,
                  ad_config: Optional[ADConfig] = None,
                  machine: Optional[MachineModel] = None,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False, backend: str = "interp") -> None:
         self.variant = variant
         self.deck = deck or make_deck()
         self.machine = machine or c6i_metal()
@@ -40,6 +40,8 @@ class MinibudeApp:
             self.ad_config.cache_space = "gc"
         #: Run every execution under the dynamic race checker.
         self.sanitize = sanitize
+        #: "interp" or "compiled" (see ExecConfig.backend).
+        self.backend = backend
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -52,7 +54,7 @@ class MinibudeApp:
 
     def _config(self, num_threads: int) -> ExecConfig:
         return ExecConfig(num_threads=num_threads, machine=self.machine,
-                          sanitize=self.sanitize)
+                          sanitize=self.sanitize, backend=self.backend)
 
     def _args(self) -> tuple[dict, tuple]:
         flat = self.deck.flat_args()

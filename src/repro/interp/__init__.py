@@ -6,9 +6,11 @@ events for MPI and thread barriers so the simulated runtimes in
 :mod:`repro.parallel` can coordinate ranks and threads.
 """
 
+from .compile import CompiledBackend, compile_function
 from .events import BarrierEvent, Event, MPIEvent
 from .executor import Executor, run_function
 from .interpreter import ExecConfig, Interpreter, TaskScheduler, chunk_bounds
+from .lowering import Lowerer, LoweringError, lower_function
 from .memory import (
     Buffer,
     DynCache,
@@ -23,6 +25,8 @@ __all__ = [
     "BarrierEvent", "Event", "MPIEvent",
     "Executor", "run_function",
     "ExecConfig", "Interpreter", "TaskScheduler", "chunk_bounds",
+    "CompiledBackend", "compile_function",
+    "Lowerer", "LoweringError", "lower_function",
     "Buffer", "DynCache", "InterpreterError", "Memory", "PtrVal",
     "TaskVal", "TokenVal",
 ]

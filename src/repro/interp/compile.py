@@ -1,0 +1,361 @@
+"""Compiled execution backend.
+
+Pairs with :mod:`repro.interp.lowering`: each IR function is lowered
+once to Python source (a generator function), compiled with
+:func:`compile`/``exec``, and cached on the :class:`~repro.ir.function.
+Function` object.  The generated code runs against the owning
+:class:`~repro.interp.interpreter.Interpreter` instance (``rt``) as
+shared runtime state — same :class:`~repro.interp.memory.Memory`, same
+:class:`~repro.perf.cost.CostVector` sinks, same simulated clock — so
+a compiled callee can hand any individual op back to the interpreter
+(an MPI intrinsic, a spawned task, a region the lowering rejected) and
+resume, with bit-identical results and timings.
+
+The runtime helpers in this module are the out-of-line parts of the
+generated code: memory access with interpreter-exact cost accounting
+(``_ld``/``_st``/``_at``), privatizing allocation (``_al``), segment
+cost accumulation (``_acc``), the fork-region phase driver (``_rf``),
+call dispatch (``_ca``/``_cu``) and the op-by-op interpreter bridge
+(``_bg``).
+
+Fallback contract (who runs what):
+
+* ``ExecConfig(sanitize=True)`` never constructs this backend at all;
+* a tape (operator-overloading baseline) or a vectorized caller
+  context pins the interpreter for that call;
+* a function whose lowering fails is marked interpreter-only;
+* inside compiled code, ops the lowering bridged execute through the
+  interpreter's own dispatch tables against shared state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.function import Function
+from ..ir.types import F64
+from ..perf.cost import CostVector
+from .events import BarrierEvent
+from .interpreter import Interpreter, chunk_bounds
+from .memory import DynCache, InterpreterError, Memory, PtrVal
+from .lowering import LoweringError, lower_function
+
+#: Cache attribute stashed on Function objects (they have no __slots__).
+_CACHE_ATTR = "_compiled_code"
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers referenced by generated code
+# ---------------------------------------------------------------------------
+
+def _acc(rt, flops, divs, specials, int_ops):
+    """Accumulate one straight-line segment's aggregated compute cost."""
+    c = rt.cost
+    if flops:
+        c.flops += flops
+    if divs:
+        c.divs += divs
+    if specials:
+        c.specials += specials
+    if int_ops:
+        c.int_ops += int_ops
+
+
+def _aw(rt, cost_class, res):
+    """Cost of one op whose width is only known at runtime."""
+    rt.cost.add_class(cost_class, rt._width(res))
+
+
+def _ld(rt, ptr, idx):
+    """Load with interpreter-exact masking and cost accounting.
+
+    The scalar case (adjoint reverse loops run element-by-element) is
+    inlined here: check-alive, bounds check, one element, 8 bytes —
+    the same observable effects as ``Memory.load`` without the call
+    chain.  A mask never changes a scalar load (the interpreter only
+    neutralizes array indices), so ``rt.mask`` need not be consulted.
+    """
+    if not isinstance(idx, np.ndarray) and not isinstance(
+            ptr.offset, np.ndarray):
+        buf = ptr.buffer
+        if buf.freed:
+            buf.check_alive()
+        at = ptr.offset + idx
+        data = buf.data
+        if at < 0 or at >= len(data):
+            Memory._check_bounds(buf, at)
+        c = rt.cost
+        if buf.stream:
+            c.stream_bytes += 8
+        else:
+            c.load_bytes += 8
+        return data[at]
+    mask = rt.mask
+    if mask is not None and isinstance(idx, np.ndarray):
+        idx = np.where(mask, idx, 0)
+    val = rt.memory.load(ptr, idx)
+    w = rt._width(val) if isinstance(val, np.ndarray) else 1
+    if ptr.buffer.stream:
+        rt.cost.add_stream(w * 8)
+    else:
+        rt.cost.add_load(w * 8)
+    return val
+
+
+def _st(rt, val, ptr, idx):
+    if (rt.mask is None and not isinstance(idx, np.ndarray)
+            and not isinstance(val, np.ndarray)
+            and not isinstance(ptr.offset, np.ndarray)):
+        buf = ptr.buffer
+        if buf.freed:
+            buf.check_alive()
+        at = ptr.offset + idx
+        data = buf.data
+        if at < 0 or at >= len(data):
+            Memory._check_bounds(buf, at)
+        data[at] = val
+        c = rt.cost
+        if buf.stream:
+            c.stream_bytes += 8
+        else:
+            c.store_bytes += 8
+        return
+    mask = rt.mask
+    if mask is not None and isinstance(idx, np.ndarray):
+        idx = np.where(mask, idx, 0)
+    w = max(rt._width(val), rt._width(idx))
+    rt.memory.store(ptr, idx, val, mask=mask)
+    if ptr.buffer.stream:
+        rt.cost.add_stream(w * 8)
+    else:
+        rt.cost.add_store(w * 8)
+
+
+def _at(rt, kind, via_reduction, val, ptr, idx):
+    mask = rt.mask
+    if mask is not None and isinstance(idx, np.ndarray):
+        idx = np.where(mask, idx, 0)
+    w = max(rt._width(val), rt._width(idx))
+    rt.memory.atomic(kind, ptr, idx, val, mask=mask)
+    if via_reduction:
+        rt.cost.add_reduction(w)
+        rt.cost.add_store(w * 8)
+    else:
+        rt.cost.add_atomic(w, w * 8)
+
+
+def _al(rt, op, count_val):
+    """Allocation with the interpreter's vector-lane privatization."""
+    if isinstance(count_val, np.ndarray) and count_val.size > 1:
+        raise InterpreterError(
+            "allocation size must be uniform inside vectorized regions")
+    count = int(count_val)
+    space = op.attrs["space"]
+    stream = bool(op.attrs.get("stream"))
+    elem = op.result.type.elem
+    if rt.simd_depth > 0 and rt.simd_width >= 1:
+        w = rt.simd_width
+        ptr = rt.memory.alloc(count * w, elem, space, name=op.result.name,
+                              thread_local_of=rt.current_thread)
+        ptr = PtrVal(ptr.buffer, np.arange(w, dtype=np.int64) * count)
+        ptr.buffer.stream = stream
+        rt.cost.alloc_bytes += count * w * elem.size_bytes
+    else:
+        ptr = rt.memory.alloc(count, elem, space, name=op.result.name,
+                              thread_local_of=rt.current_thread)
+        ptr.buffer.stream = stream
+        rt.cost.alloc_bytes += count * elem.size_bytes
+        if space == "gc":
+            rt.cost.add_stream(count * elem.size_bytes)
+    return ptr
+
+
+def _ms(rt, ptr, val, count_val):
+    count = int(count_val)
+    rt.memory.memset(ptr, val, count)
+    rt.cost.add_store(count * 8)
+
+
+def _mc(rt, dst, src, count_val):
+    count = int(count_val)
+    rt.memory.memcpy(dst, src, count)
+    rt.cost.add_load(count * 8)
+    rt.cost.add_store(count * 8)
+
+
+def _bg(rt, op, env):
+    """Bridge one region-bearing op to the interpreter's dispatch."""
+    return (yield from rt._gen_dispatch[op.opcode](op, env))
+
+
+def _ca(rt, op, args):
+    """Call dispatch — mirror of ``Interpreter._exec_call``, except
+    user callees route through the compiled-code cache when the calling
+    context allows it."""
+    callee = op.attrs["callee"]
+    if callee in rt.module.functions:
+        rt.cost.calls += 1
+        ret = yield from _cu(rt, callee, args)
+    else:
+        simple = rt.intrinsics_simple.get(callee)
+        if simple is not None:
+            ret = simple(rt, op, args)
+        else:
+            gen = rt.intrinsics_gen.get(callee)
+            if gen is None:
+                raise InterpreterError(f"no handler for callee {callee!r}")
+            ret = yield from gen(rt, op, args)
+    return ret
+
+
+def _cu(rt, name, args):
+    """Execute a user function: compiled when the context is scalar and
+    untaped, interpreted otherwise."""
+    fn = rt.module.functions[name]
+    rt._call_depth += 1
+    if rt._call_depth > rt.config.max_call_depth:
+        raise InterpreterError("call depth exceeded (recursion?)")
+    try:
+        if (rt.tape is None and rt.simd_depth == 0 and rt.mask is None
+                and rt.backend is not None):
+            code = rt.backend.get_compiled(fn)
+            if code is not None:
+                return (yield from code(rt, *args))
+        env = dict(zip(fn.args, args))
+        result = yield from rt._exec_block(fn.body, env)
+    finally:
+        rt._call_depth -= 1
+    return result[1] if isinstance(result, tuple) else None
+
+
+def _rf(rt, nthreads, body_factory):
+    """Fork-region driver — mirror of ``Interpreter._exec_fork`` over
+    compiled per-thread body generators.  Never yields upward."""
+    if False:  # pragma: no cover - makes this a generator function
+        yield None
+    rt.flush_serial()
+    gens = [body_factory(t, nthreads) for t in range(nthreads)]
+    saved_cost = rt.cost
+    saved_thread = rt.current_thread
+    saved_width = rt._fork_width
+    rt._fork_width = nthreads
+    rt._noyield += 1
+    rt._fork_depth += 1
+    region_seconds = rt.machine.fork_overhead(nthreads)
+    pending = dict(enumerate(gens))
+    try:
+        while pending:
+            phase_costs = []
+            finished, at_barrier = [], []
+            for t in sorted(pending):
+                c = CostVector()
+                rt.cost = c
+                rt.current_thread = t
+                try:
+                    ev = next(pending[t])
+                    if not isinstance(ev, BarrierEvent):
+                        raise InterpreterError(
+                            f"unsupported event {ev!r} inside fork region")
+                    at_barrier.append(t)
+                except StopIteration:
+                    finished.append(t)
+                phase_costs.append(c)
+                rt.raw_total.merge(c)
+            for t in finished:
+                del pending[t]
+            if at_barrier and finished:
+                raise InterpreterError(
+                    "barrier deadlock: some threads finished while "
+                    "others wait at a barrier")
+            region_seconds += rt.machine.phase_time(
+                phase_costs, nthreads, rt.procs_on_node)
+    finally:
+        rt._noyield -= 1
+        rt._fork_depth -= 1
+        rt.cost = saved_cost
+        rt.current_thread = saved_thread
+        rt._fork_width = saved_width
+    rt.clock += region_seconds
+
+
+_HELPER_GLOBALS = {
+    "np": np,
+    "F64": F64,
+    "InterpreterError": InterpreterError,
+    "CostVector": CostVector,
+    "DynCache": DynCache,
+    "PtrVal": PtrVal,
+    "BarrierEvent": BarrierEvent,
+    "chunk_bounds": chunk_bounds,
+    "_acc": _acc, "_aw": _aw, "_ld": _ld, "_st": _st, "_at": _at,
+    "_al": _al, "_ms": _ms, "_mc": _mc, "_bg": _bg, "_ca": _ca,
+    "_cu": _cu, "_rf": _rf,
+}
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def compile_function(fn: Function):
+    """Lower + compile ``fn``; returns a generator function
+    ``code(rt, *args)`` or raises :class:`LoweringError`."""
+    source, consts = lower_function(fn)
+    globs = dict(_HELPER_GLOBALS)
+    globs.update(consts)
+    try:
+        exec(compile(source, f"<compiled {fn.name}>", "exec"), globs)
+    except SyntaxError as e:  # codegen bug — surface the source
+        raise LoweringError(
+            f"generated source for {fn.name} does not compile: {e}") from e
+    code = globs["_compiled"]
+    code.__name__ = f"_compiled_{fn.name}"
+    code.__lowered_source__ = source
+    return code
+
+
+class CompiledBackend:
+    """Routes ``Interpreter.call_generator`` through compiled code.
+
+    ``strict=True`` re-raises lowering failures instead of silently
+    marking the function interpreter-only (used by tests).
+    """
+
+    def __init__(self, interp: Interpreter, strict: bool = False) -> None:
+        self.rt = interp
+        self.strict = strict
+
+    # -- compile cache -------------------------------------------------
+    def get_compiled(self, fn: Function):
+        """Compiled code for ``fn``, or None if it is interpreter-only."""
+        cached = getattr(fn, _CACHE_ATTR, None)
+        if cached is None:
+            try:
+                cached = compile_function(fn)
+            except LoweringError as e:
+                if self.strict:
+                    raise
+                cached = False
+                fn._compile_error = e
+            except Exception as e:  # noqa: BLE001 - fallback must hold
+                if self.strict:
+                    raise
+                cached = False
+                fn._compile_error = e
+            setattr(fn, _CACHE_ATTR, cached)
+        return cached or None
+
+    # -- Interpreter.call_generator hook -------------------------------
+    def call_generator(self, fn_name: str, args: list):
+        rt = self.rt
+        fn = rt.module.functions[fn_name]
+        if len(args) != len(fn.args):
+            raise InterpreterError(
+                f"{fn_name} expects {len(fn.args)} args, got {len(args)}")
+        if (rt.tape is not None or rt.racecheck is not None
+                or rt.simd_depth != 0 or rt.mask is not None):
+            return rt._call_generator_interp(fn_name, args)
+        code = self.get_compiled(fn)
+        if code is None:
+            return rt._call_generator_interp(fn_name, args)
+        return code(rt, *args)

@@ -24,7 +24,10 @@ def _np_elem_dtype(elem):
         return np.int64
     if elem is I1:
         return np.bool_
-    return object
+    raise InterpreterError(
+        f"no NumPy dtype for element type {elem!r}: external buffers must "
+        f"hold f64, i64 or i1 elements (pointer/handle buffers cannot be "
+        f"passed from the outside)")
 
 
 class Executor:
@@ -34,6 +37,18 @@ class Executor:
                  config: Optional[ExecConfig] = None) -> None:
         self.module = module
         self.interp = Interpreter(module, config)
+        cfg = self.interp.config
+        if cfg.backend == "compiled":
+            # Sanitizer runs pin the interpreter: the race checker must
+            # observe every individual access, which fused NumPy kernels
+            # by construction do not surface.
+            if not cfg.sanitize:
+                from .compile import CompiledBackend
+                self.interp.backend = CompiledBackend(self.interp)
+        elif cfg.backend != "interp":
+            raise InterpreterError(
+                f"unknown backend {cfg.backend!r} (want 'interp' or "
+                f"'compiled')")
 
     @property
     def clock(self) -> float:
@@ -73,12 +88,20 @@ class Executor:
                     wrapped.append(actual)
                     continue
                 arr = np.asarray(actual)
-                want = _np_elem_dtype(t.elem)
-                if want is not object and arr.dtype != want:
+                if t.elem is F64 or t.elem is I64 or t.elem is I1:
+                    want = _np_elem_dtype(t.elem)
+                    if arr.dtype != want:
+                        raise TypeError(
+                            f"argument {formal.name!r} of {fn_name} needs "
+                            f"dtype {np.dtype(want)}, got {arr.dtype} (pass "
+                            f"the right dtype; implicit copies would break "
+                            f"aliasing)")
+                elif arr.dtype != object:
+                    # Handle buffers (tasks, tokens, pointers) have no
+                    # numeric dtype; they must come in as object arrays.
                     raise TypeError(
-                        f"argument {formal.name!r} of {fn_name} needs dtype "
-                        f"{np.dtype(want)}, got {arr.dtype} (pass the right "
-                        f"dtype; implicit copies would break aliasing)")
+                        f"argument {formal.name!r} of {fn_name} holds "
+                        f"{t.elem} handles; pass a dtype=object array")
                 if arr.ndim != 1:
                     raise TypeError(
                         f"argument {formal.name!r}: buffers must be 1-D")

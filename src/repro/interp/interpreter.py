@@ -53,6 +53,16 @@ from .memory import (
 _CMP = OP_INFO["cmp"].attrs["preds"]
 
 
+def _decode_operands(operands):
+    """Decode an operand list once into ``(value_or_None, const)`` pairs.
+
+    Constants are pre-extracted so the hot path never re-tests
+    ``type(v) is Constant``; the tuple is cached on ``Op._interp``.
+    """
+    return tuple((None, v.value) if type(v) is Constant else (v, None)
+                 for v in operands)
+
+
 @dataclass
 class ExecConfig:
     """Knobs for one interpreter instance (one simulated rank)."""
@@ -70,6 +80,13 @@ class ExecConfig:
     #: When sanitizing, raise RaceReport at the first race (else collect
     #: all reports on the checker).
     sanitize_raise: bool = True
+    #: Execution backend: ``"interp"`` walks the IR op by op;
+    #: ``"compiled"`` lowers each function to a generated NumPy closure
+    #: (see :mod:`repro.interp.compile`) and falls back to the
+    #: interpreter for constructs the lowering cannot handle.  Sanitizer
+    #: runs always pin ``"interp"`` — the race checker needs to observe
+    #: every individual access.
+    backend: str = "interp"
 
 
 def chunk_bounds(lb: int, ub: int, step: int, tid: int, nthreads: int
@@ -158,6 +175,16 @@ class Interpreter:
         self.intrinsics_simple: dict[str, Callable] = dict(_SIMPLE_INTRINSICS)
         self.intrinsics_gen: dict[str, Callable] = dict(_GEN_INTRINSICS)
 
+        #: Optional compiled backend (set by the Executor when
+        #: ``config.backend == "compiled"``); when present,
+        #: :meth:`call_generator` routes through it.
+        self.backend = None
+
+        # Precomputed opcode dispatch tables (one closure per opcode,
+        # bound to this instance) — avoids the long string-comparison
+        # chain on every op.
+        self._simple_dispatch, self._gen_dispatch = self._build_dispatch()
+
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
@@ -174,6 +201,11 @@ class Interpreter:
             f"but no SimMPI engine is attached (use repro.parallel.mpi)")
 
     def call_generator(self, fn_name: str, args: list):
+        if self.backend is not None:
+            return self.backend.call_generator(fn_name, args)
+        return self._call_generator_interp(fn_name, args)
+
+    def _call_generator_interp(self, fn_name: str, args: list):
         fn = self.module.functions[fn_name]
         if len(args) != len(fn.args):
             raise InterpreterError(
@@ -212,93 +244,188 @@ class Interpreter:
         return 1
 
     def _exec_block(self, block, env):
-        get = self._get
+        simple = self._simple_dispatch
+        gen = self._gen_dispatch
         for op in block.ops:
             oc = op.opcode
-
-            info = OP_INFO.get(oc)
-            if info is not None:
-                self._eval_compute(op, info, env)
+            h = simple.get(oc)
+            if h is not None:
+                h(op, env)
                 continue
-
-            if oc == "load":
-                self._exec_load(op, env)
-            elif oc == "store":
-                self._exec_store(op, env)
-            elif oc == "atomic":
-                self._exec_atomic(op, env)
-            elif oc == "alloc":
-                self._exec_alloc(op, env)
-            elif oc == "ptradd":
-                ptr = get(op.operands[0], env)
-                env[op.result] = ptr.added(get(op.operands[1], env))
-                self.cost.int_ops += 1
-            elif oc == "for":
-                yield from self._exec_for(op, env)
-            elif oc == "parallel_for":
-                yield from self._exec_parallel_for(op, env)
-            elif oc == "if":
-                yield from self._exec_if(op, env)
-            elif oc == "while":
-                yield from self._exec_while(op, env)
-            elif oc == "fork":
-                yield from self._exec_fork(op, env)
-            elif oc == "spawn":
-                yield from self._exec_spawn(op, env)
-            elif oc == "call":
-                yield from self._exec_call(op, env)
+            g = gen.get(oc)
+            if g is not None:
+                yield from g(op, env)
+                continue
+            if oc == "return":
+                val = (self._get(op.operands[0], env)
+                       if op.operands else None)
+                return ("ret", val)
+            if oc == "condition":
+                val = self._get(op.operands[0], env)
+                if isinstance(val, np.ndarray) and val.size > 1:
+                    raise InterpreterError(
+                        "data-dependent while inside a vectorized region")
+                self._while_flag = bool(val)
             elif oc == "barrier":
                 if self._fork_depth == 0:
                     raise InterpreterError(
                         "barrier outside an executing fork region")
                 yield BarrierEvent()
-            elif oc == "condition":
-                val = get(op.operands[0], env)
-                if isinstance(val, np.ndarray) and val.size > 1:
-                    raise InterpreterError(
-                        "data-dependent while inside a vectorized region")
-                self._while_flag = bool(val)
-            elif oc == "return":
-                val = get(op.operands[0], env) if op.operands else None
-                return ("ret", val)
-            elif oc == "memset":
-                ptr = get(op.operands[0], env)
-                val = get(op.operands[1], env)
-                count = int(get(op.operands[2], env))
-                if self.racecheck is not None:
-                    self.racecheck.on_write(
-                        self._rc_tid, ptr,
-                        np.arange(count, dtype=np.int64), op)
-                self.memory.memset(ptr, val, count)
-                self.cost.add_store(count * 8)
-                if self.tape is not None:
-                    self.tape.on_memset(ptr, val, count)
-            elif oc == "memcpy":
-                dst = get(op.operands[0], env)
-                src = get(op.operands[1], env)
-                count = int(get(op.operands[2], env))
-                if self.racecheck is not None:
-                    span = np.arange(count, dtype=np.int64)
-                    self.racecheck.on_read(self._rc_tid, src, span, op)
-                    self.racecheck.on_write(self._rc_tid, dst, span, op)
-                self.memory.memcpy(dst, src, count)
-                self.cost.add_load(count * 8)
-                self.cost.add_store(count * 8)
-                if self.tape is not None:
-                    self.tape.on_memcpy(dst, src, count)
-            elif oc == "free":
-                self.memory.free(get(op.operands[0], env))
-            elif oc == "cache_create":
-                env[op.result] = DynCache()
-            elif oc == "cache_push":
-                get(op.operands[0], env).push(get(op.operands[1], env))
-                self.cost.add_store(8)
-            elif oc == "cache_pop":
-                env[op.result] = get(op.operands[0], env).pop()
-                self.cost.add_load(8)
             else:
                 raise InterpreterError(f"unhandled opcode {oc!r}")
         return None
+
+    # ------------------------------------------------------------------
+    # Dispatch tables
+    # ------------------------------------------------------------------
+    def _build_dispatch(self):
+        """Build the per-instance opcode -> handler tables.
+
+        *Simple* handlers run to completion without yielding (compute,
+        memory, cache ops); *generator* handlers may yield events
+        (structured control flow, calls).  Compute opcodes get one
+        closure each, specialized on arity with the ``OpInfo`` lookup
+        hoisted out of the hot loop.
+        """
+        simple: dict[str, Callable] = {}
+        for oc, info in OP_INFO.items():
+            if oc == "cmp":
+                simple[oc] = self._make_cmp()
+            elif oc == "select":
+                simple[oc] = self._make_select(info)
+            elif info.arity == 1:
+                simple[oc] = self._make_compute1(info)
+            elif info.arity == 2:
+                simple[oc] = self._make_compute2(info)
+            else:
+                simple[oc] = self._make_computeN(info)
+        simple.update({
+            "load": self._exec_load,
+            "store": self._exec_store,
+            "atomic": self._exec_atomic,
+            "alloc": self._exec_alloc,
+            "ptradd": self._exec_ptradd,
+            "memset": self._exec_memset,
+            "memcpy": self._exec_memcpy,
+            "free": self._exec_free,
+            "cache_create": self._exec_cache_create,
+            "cache_push": self._exec_cache_push,
+            "cache_pop": self._exec_cache_pop,
+        })
+        gen: dict[str, Callable] = {
+            "for": self._exec_for,
+            "parallel_for": self._exec_parallel_for,
+            "if": self._exec_if,
+            "while": self._exec_while,
+            "fork": self._exec_fork,
+            "spawn": self._exec_spawn,
+            "call": self._exec_call,
+        }
+        return simple, gen
+
+    def _finish_compute(self, op, env, res, cost_class) -> None:
+        env[op.result] = res
+        if isinstance(res, np.ndarray) and res.size > 1:
+            w = self.mask_count if self.mask is not None else res.size
+        else:
+            w = 1
+        self.cost.add_class(cost_class, w)
+        if self.tape is not None:
+            self.tape.on_compute(op, env, res, w)
+
+    def _make_compute1(self, info):
+        ev, cost, finish = info.evaluate, info.cost, self._finish_compute
+
+        def h(op, env):
+            dec = op._interp
+            if dec is None:
+                dec = op._interp = _decode_operands(op.operands)
+            k, c = dec[0]
+            try:
+                a = c if k is None else env[k]
+            except KeyError:
+                raise InterpreterError(f"undefined value {k!r}") from None
+            finish(op, env, ev(a), cost)
+        return h
+
+    def _make_compute2(self, info):
+        ev, cost, finish = info.evaluate, info.cost, self._finish_compute
+
+        def h(op, env):
+            dec = op._interp
+            if dec is None:
+                dec = op._interp = _decode_operands(op.operands)
+            k0, c0 = dec[0]
+            k1, c1 = dec[1]
+            try:
+                a = c0 if k0 is None else env[k0]
+                b = c1 if k1 is None else env[k1]
+            except KeyError as e:
+                raise InterpreterError(
+                    f"undefined value {e.args[0]!r}") from None
+            finish(op, env, ev(a, b), cost)
+        return h
+
+    def _make_computeN(self, info):
+        ev, cost, finish = info.evaluate, info.cost, self._finish_compute
+
+        def h(op, env):
+            dec = op._interp
+            if dec is None:
+                dec = op._interp = _decode_operands(op.operands)
+            try:
+                vals = [c if k is None else env[k] for k, c in dec]
+            except KeyError as e:
+                raise InterpreterError(
+                    f"undefined value {e.args[0]!r}") from None
+            finish(op, env, ev(*vals), cost)
+        return h
+
+    def _make_cmp(self):
+        finish = self._finish_compute
+        cost = OP_INFO["cmp"].cost
+
+        def h(op, env):
+            st = op._interp
+            if st is None:
+                st = op._interp = (_CMP[op.attrs["pred"]],
+                                   _decode_operands(op.operands))
+            fn, dec = st
+            k0, c0 = dec[0]
+            k1, c1 = dec[1]
+            try:
+                a = c0 if k0 is None else env[k0]
+                b = c1 if k1 is None else env[k1]
+            except KeyError as e:
+                raise InterpreterError(
+                    f"undefined value {e.args[0]!r}") from None
+            finish(op, env, fn(a, b), cost)
+        return h
+
+    def _make_select(self, info):
+        finish = self._finish_compute
+        cost = info.cost
+
+        def h(op, env):
+            dec = op._interp
+            if dec is None:
+                dec = op._interp = _decode_operands(op.operands)
+            kc, cc = dec[0]
+            ka, ca = dec[1]
+            kb, cb = dec[2]
+            try:
+                c = cc if kc is None else env[kc]
+                a = ca if ka is None else env[ka]
+                b = cb if kb is None else env[kb]
+            except KeyError as e:
+                raise InterpreterError(
+                    f"undefined value {e.args[0]!r}") from None
+            if isinstance(c, np.ndarray):
+                res = np.where(c, a, b)
+            else:
+                res = a if c else b
+            finish(op, env, res, cost)
+        return h
 
     # ------------------------------------------------------------------
     def _eval_compute(self, op: Op, info, env: dict) -> None:
@@ -426,6 +553,51 @@ class Interpreter:
         env[op.result] = ptr
         if self.tape is not None:
             self.tape.on_alloc(op, ptr)
+
+    def _exec_ptradd(self, op: Op, env: dict) -> None:
+        ptr = self._get(op.operands[0], env)
+        env[op.result] = ptr.added(self._get(op.operands[1], env))
+        self.cost.int_ops += 1
+
+    def _exec_memset(self, op: Op, env: dict) -> None:
+        ptr = self._get(op.operands[0], env)
+        val = self._get(op.operands[1], env)
+        count = int(self._get(op.operands[2], env))
+        if self.racecheck is not None:
+            self.racecheck.on_write(
+                self._rc_tid, ptr, np.arange(count, dtype=np.int64), op)
+        self.memory.memset(ptr, val, count)
+        self.cost.add_store(count * 8)
+        if self.tape is not None:
+            self.tape.on_memset(ptr, val, count)
+
+    def _exec_memcpy(self, op: Op, env: dict) -> None:
+        dst = self._get(op.operands[0], env)
+        src = self._get(op.operands[1], env)
+        count = int(self._get(op.operands[2], env))
+        if self.racecheck is not None:
+            span = np.arange(count, dtype=np.int64)
+            self.racecheck.on_read(self._rc_tid, src, span, op)
+            self.racecheck.on_write(self._rc_tid, dst, span, op)
+        self.memory.memcpy(dst, src, count)
+        self.cost.add_load(count * 8)
+        self.cost.add_store(count * 8)
+        if self.tape is not None:
+            self.tape.on_memcpy(dst, src, count)
+
+    def _exec_free(self, op: Op, env: dict) -> None:
+        self.memory.free(self._get(op.operands[0], env))
+
+    def _exec_cache_create(self, op: Op, env: dict) -> None:
+        env[op.result] = DynCache()
+
+    def _exec_cache_push(self, op: Op, env: dict) -> None:
+        self._get(op.operands[0], env).push(self._get(op.operands[1], env))
+        self.cost.add_store(8)
+
+    def _exec_cache_pop(self, op: Op, env: dict) -> None:
+        env[op.result] = self._get(op.operands[0], env).pop()
+        self.cost.add_load(8)
 
     # ------------------------------------------------------------------
     # Structured control flow

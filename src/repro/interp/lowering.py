@@ -1,0 +1,609 @@
+"""IR -> Python lowering for the compiled execution backend.
+
+The :class:`Lowerer` translates one verified IR function into the
+source of a generated Python *generator function* executing against the
+interpreter instance (``rt``) as shared runtime state:
+
+* straight-line f64/i64 arithmetic becomes native Python/NumPy
+  expressions over SSA locals (one local per IR value);
+* ``simd``/worksharing loop bodies and ``parallel_for`` bodies are
+  vectorized exactly like the interpreter vectorizes them — the
+  induction variable is bound to an ``np.arange`` index vector and
+  elementwise ops become NumPy array kernels over the Executor's
+  buffers;
+* vectorized ``if`` regions run masked, with the mask published to
+  ``rt.mask``/``rt.mask_count`` so memory helpers and interpreter
+  bridges see the exact interpreter state;
+* instruction-cost accounting is aggregated statically: each
+  straight-line segment contributes one ``_acc(...)`` call instead of
+  one ``CostVector`` update per op, with per-lane counts scaled by the
+  region width local;
+* anything the lowering cannot translate (``spawn`` tasks, ``if`` with
+  a condition of statically-unknown vectorization, unknown opcodes)
+  falls back *op-by-op* to the interpreter through ``_bg`` bridges that
+  materialize the op's free SSA values into an interpreter ``env``.
+
+Bit-identity contract: every emitted expression either is the exact
+NumPy ufunc the interpreter would call, or a Python operator whose
+IEEE-754 result is identical for the value types that can occur (float
+``+``/``-``/``*`` and comparisons).  Division, min/max, pow and the
+transcendentals always go through the interpreter's own ufuncs —
+Python's operators differ observably there (``ZeroDivisionError``,
+NaN propagation, complex results).
+
+This module is pure code generation; the runtime helpers the generated
+source calls live in :mod:`repro.interp.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.opinfo import OP_INFO
+from ..ir.values import Constant, Value
+
+
+class LoweringError(Exception):
+    """Raised when a function cannot be lowered; caller falls back to
+    the interpreter for the whole function."""
+
+
+#: Float ops whose Python operator is bit-identical to the interpreter's
+#: ufunc for every input (IEEE-754 basic ops; ``fma`` is evaluated as
+#: ``a * b + c`` by the interpreter too).
+_OPERATOR_TEMPLATES = {
+    "add": "({a} + {b})",
+    "sub": "({a} - {b})",
+    "mul": "({a} * {b})",
+    "neg": "(-{a})",
+    "abs": "abs({a})",
+    "fma": "({a} * {b} + {c})",
+}
+
+#: Comparison predicates -> Python operators (same truth value as the
+#: interpreter's np.less/np.greater/... for scalars and arrays alike).
+_CMP_TEMPLATES = {
+    "lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!=",
+}
+
+#: Cost classes accumulated by segment aggregation, in `_acc` argument
+#: order.  COST_FREE contributes nothing (matches CostVector.add_class).
+_ACC_CLASSES = ("flop", "div", "special", "int")
+
+
+def free_values(op) -> list:
+    """SSA values used inside ``op`` (or its regions) but defined outside.
+
+    These are exactly the values an interpreter bridge must seed into
+    the ``env`` dict before handing the op to ``rt._gen_dispatch``.
+    """
+    defined = set()
+    used = []
+    for o in op.walk():
+        for region in o.regions:
+            defined.update(region.args)
+        if o.result is not None:
+            defined.add(o.result)
+        for v in o.operands:
+            if type(v) is not Constant:
+                used.append(v)
+    return [v for v in dict.fromkeys(used) if v not in defined]
+
+
+def _literal(c: Constant) -> str:
+    # repr() of Python floats round-trips exactly; ints and bools are
+    # exact by construction.
+    return repr(c.value)
+
+
+class Lowerer:
+    """Lower one IR function to Python generator-function source."""
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+        self.lines: list[str] = []
+        self._ind = 0
+        self._n = 0
+        #: Value -> generated local name.
+        self.names: dict[Value, str] = {}
+        #: Value -> True (lane-varying) / False (uniform) / None (only
+        #: decidable at runtime; cost falls back to rt._width).
+        self.vary: dict[Value, Optional[bool]] = {}
+        #: Objects the generated code references by global name.
+        self.consts: dict[str, object] = {}
+        self._const_ids: dict[int, str] = {}
+        #: Static vectorization depth (0 = scalar context).
+        self.depth = 0
+        #: Expression for the current per-lane width ("1" when scalar).
+        self.wexpr = "1"
+        #: Pending straight-line cost: class -> [uniform, varying] counts.
+        self._seg: dict[str, list[int]] = {}
+
+    # -- source emission helpers ---------------------------------------
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self._ind + line if line else "")
+
+    def fresh(self, prefix: str = "_t") -> str:
+        self._n += 1
+        return f"{prefix}{self._n}"
+
+    def konst(self, obj) -> str:
+        name = self._const_ids.get(id(obj))
+        if name is None:
+            name = f"_k{len(self.consts)}"
+            self.consts[name] = obj
+            self._const_ids[id(obj)] = name
+        return name
+
+    def ref(self, v: Value) -> str:
+        if type(v) is Constant:
+            return _literal(v)
+        try:
+            return self.names[v]
+        except KeyError:
+            raise LoweringError(f"use of value {v!r} before definition")
+
+    def bind(self, v: Value, varying: Optional[bool]) -> str:
+        name = self.fresh("v")
+        self.names[v] = name
+        self.vary[v] = varying
+        return name
+
+    def vary_of(self, v: Value) -> Optional[bool]:
+        if type(v) is Constant:
+            return False
+        return self.vary.get(v, False)
+
+    def _join_vary(self, operands) -> Optional[bool]:
+        out: Optional[bool] = False
+        for v in operands:
+            x = self.vary_of(v)
+            if x is True:
+                return True
+            if x is None:
+                out = None
+        return out
+
+    # -- cost segments -------------------------------------------------
+    def seg_add(self, cost_class: str, varying: bool) -> None:
+        if cost_class == "free":
+            return
+        cell = self._seg.setdefault(cost_class, [0, 0])
+        cell[1 if varying else 0] += 1
+
+    def flush_seg(self) -> None:
+        if not self._seg:
+            return
+        args = []
+        for cls in _ACC_CLASSES:
+            u, vr = self._seg.get(cls, (0, 0))
+            if vr and self.wexpr != "1":
+                args.append(f"{u} + {vr}*{self.wexpr}" if u else
+                            f"{vr}*{self.wexpr}")
+            else:
+                args.append(str(u + vr))
+        self._seg.clear()
+        if any(a != "0" for a in args):
+            self.emit(f"_acc(rt, {', '.join(args)})")
+
+    # ------------------------------------------------------------------
+    def build(self) -> tuple[str, dict]:
+        """Return ``(source, consts)`` for this function."""
+        fn = self.fn
+        arg_names = [self.bind(a, False) for a in fn.args]
+        head = f"def _compiled(rt{''.join(', ' + a for a in arg_names)}):"
+        self.emit(head)
+        self._ind += 1
+        self.emit("if False:")
+        self.emit("    yield")
+        body_start = len(self.lines)
+        self.lower_block(fn.body, top_level=True)
+        self.flush_seg()
+        if len(self.lines) == body_start:
+            self.emit("pass")
+        return "\n".join(self.lines) + "\n", self.consts
+
+    # ------------------------------------------------------------------
+    def lower_block(self, block, top_level: bool = False) -> None:
+        start = len(self.lines)
+        for op in block.ops:
+            if op.opcode == "return":
+                self.flush_seg()
+                if top_level:
+                    val = self.ref(op.operands[0]) if op.operands else "None"
+                    self.emit(f"return {val}")
+                elif len(self.lines) == start:
+                    self.emit("pass")
+                # A nested return just ends this block in the
+                # interpreter (region executors discard the signal), so
+                # the remaining ops of the block are dead either way.
+                return
+            self.lower_op(op)
+        self.flush_seg()
+        if len(self.lines) == start:
+            self.emit("pass")
+
+    def lower_op(self, op) -> None:
+        oc = op.opcode
+        info = OP_INFO.get(oc)
+        if info is not None:
+            self.lower_compute(op, info)
+        elif oc == "load":
+            res = self.bind(op.result,
+                            self._join_vary(op.operands))
+            self.emit(f"{res} = _ld(rt, {self.ref(op.operands[0])}, "
+                      f"{self.ref(op.operands[1])})")
+        elif oc == "store":
+            self.emit(f"_st(rt, {self.ref(op.operands[0])}, "
+                      f"{self.ref(op.operands[1])}, "
+                      f"{self.ref(op.operands[2])})")
+        elif oc == "atomic":
+            via_red = op.attrs.get("via") == "reduction"
+            self.emit(f"_at(rt, {op.attrs['kind']!r}, {via_red!r}, "
+                      f"{self.ref(op.operands[0])}, "
+                      f"{self.ref(op.operands[1])}, "
+                      f"{self.ref(op.operands[2])})")
+        elif oc == "alloc":
+            res = self.bind(op.result, self.depth > 0)
+            self.emit(f"{res} = _al(rt, {self.konst(op)}, "
+                      f"{self.ref(op.operands[0])})")
+        elif oc == "ptradd":
+            res = self.bind(op.result, self._join_vary(op.operands))
+            self.emit(f"{res} = {self.ref(op.operands[0])}"
+                      f".added({self.ref(op.operands[1])})")
+            self.seg_add("int", False)
+        elif oc == "memset":
+            self.emit(f"_ms(rt, {self.ref(op.operands[0])}, "
+                      f"{self.ref(op.operands[1])}, "
+                      f"{self.ref(op.operands[2])})")
+        elif oc == "memcpy":
+            self.emit(f"_mc(rt, {self.ref(op.operands[0])}, "
+                      f"{self.ref(op.operands[1])}, "
+                      f"{self.ref(op.operands[2])})")
+        elif oc == "free":
+            self.emit(f"rt.memory.free({self.ref(op.operands[0])})")
+        elif oc == "cache_create":
+            self.emit(f"{self.bind(op.result, False)} = DynCache()")
+        elif oc == "cache_push":
+            self.emit(f"{self.ref(op.operands[0])}.push("
+                      f"{self.ref(op.operands[1])})")
+            self.emit("rt.cost.add_store(8)")
+        elif oc == "cache_pop":
+            self.emit(f"{self.bind(op.result, None)} = "
+                      f"{self.ref(op.operands[0])}.pop()")
+            self.emit("rt.cost.add_load(8)")
+        elif oc == "for":
+            self.lower_for(op)
+        elif oc == "parallel_for":
+            self.lower_parallel_for(op)
+        elif oc == "if":
+            self.lower_if(op)
+        elif oc == "while":
+            self.lower_while(op)
+        elif oc == "fork":
+            self.lower_fork(op)
+        elif oc == "call":
+            self.lower_call(op)
+        elif oc == "barrier":
+            self.flush_seg()
+            self.emit("if rt._fork_depth == 0:")
+            self.emit("    raise InterpreterError("
+                      "'barrier outside an executing fork region')")
+            self.emit("yield BarrierEvent()")
+        elif oc == "condition":
+            c = self.ref(op.operands[0])
+            self.emit(f"if isinstance({c}, np.ndarray) and {c}.size > 1:")
+            self.emit("    raise InterpreterError('data-dependent while "
+                      "inside a vectorized region')")
+            self.emit(f"rt._while_flag = bool({c})")
+        elif oc == "spawn":
+            self.lower_bridge(op)
+        else:
+            raise LoweringError(f"no lowering for opcode {oc!r}")
+
+    # ------------------------------------------------------------------
+    def lower_compute(self, op, info) -> None:
+        oc = op.opcode
+        refs = [self.ref(v) for v in op.operands]
+        varying = self._join_vary(op.operands)
+        if oc == "cmp":
+            pyop = _CMP_TEMPLATES[op.attrs["pred"]]
+            expr = f"({refs[0]} {pyop} {refs[1]})"
+        elif oc == "select":
+            cv = self.vary_of(op.operands[0])
+            where = f"np.where({refs[0]}, {refs[1]}, {refs[2]})"
+            pick = f"({refs[1]} if {refs[0]} else {refs[2]})"
+            if cv is True:
+                expr = where
+            elif cv is False:
+                expr = pick
+            else:
+                expr = (f"({where} if isinstance({refs[0]}, np.ndarray) "
+                        f"else {pick})")
+            # A select between a varying and a uniform arm under a
+            # uniform condition has runtime-dependent width.
+            if varying is not True and cv is not True and \
+                    self._join_vary(op.operands[1:]) is not False:
+                varying = None
+        elif oc in _OPERATOR_TEMPLATES:
+            expr = _OPERATOR_TEMPLATES[oc].format(
+                a=refs[0],
+                b=refs[1] if len(refs) > 1 else "",
+                c=refs[2] if len(refs) > 2 else "")
+        else:
+            # Everything else calls the interpreter's own evaluate
+            # function (NumPy ufunc or array-aware lambda) — identical
+            # numerics by construction.
+            expr = f"{self.konst(info.evaluate)}({', '.join(refs)})"
+        res = self.bind(op.result, varying)
+        self.emit(f"{res} = {expr}")
+        if varying is None:
+            self.flush_seg()
+            self.emit(f"_aw(rt, {info.cost!r}, {res})")
+        else:
+            self.seg_add(info.cost, varying)
+
+    # ------------------------------------------------------------------
+    def _lower_vector_body(self, body, ivar_name: str) -> None:
+        """Emit the simd_depth/simd_width bookkeeping + vectorized body.
+
+        The caller has already emitted the ``np.arange`` assignment for
+        the induction vector; indentation is inside the enclosing
+        ``if trips:`` guard.
+        """
+        w = self.fresh("_W")
+        sw = self.fresh("_sw")
+        self.emit(f"{w} = {ivar_name}.size")
+        self.emit("rt.simd_depth += 1")
+        self.emit(f"{sw} = rt.simd_width")
+        self.emit(f"rt.simd_width = {w}")
+        self.emit("try:")
+        self.emit("    with np.errstate(all='ignore'):")
+        saved_depth, saved_w = self.depth, self.wexpr
+        self.depth, self.wexpr = self.depth + 1, w
+        self._ind += 2
+        self.lower_block(body)
+        self._ind -= 2
+        self.depth, self.wexpr = saved_depth, saved_w
+        self.emit("finally:")
+        self.emit("    rt.simd_depth -= 1")
+        self.emit(f"    rt.simd_width = {sw}")
+
+    def lower_for(self, op) -> None:
+        self.flush_seg()
+        lb, ub, st = (self.fresh("_lb"), self.fresh("_ub"), self.fresh("_st"))
+        self.emit(f"{lb} = int({self.ref(op.operands[0])})")
+        self.emit(f"{ub} = int({self.ref(op.operands[1])})")
+        self.emit(f"{st} = int({self.ref(op.operands[2])})")
+        self.emit(f"if {st} <= 0:")
+        self.emit("    raise InterpreterError('for step must be positive')")
+        body = op.regions[0]
+        ivar = body.args[0]
+        simd = bool(op.attrs.get("simd")) and self.depth == 0
+        backwards = bool(op.attrs.get("reverse_order"))
+
+        if op.attrs.get("workshare"):
+            lo, hi = self.fresh("_lo"), self.fresh("_hi")
+            self.emit("if rt.current_thread is None:")
+            self.emit("    raise InterpreterError("
+                      "'workshare loop outside fork region')")
+            self.emit(f"{lo}, {hi} = chunk_bounds({lb}, {ub}, {st}, "
+                      f"rt.current_thread, rt._fork_width)")
+            if simd:
+                vi = self.bind(ivar, True)
+                self.emit(f"if {hi} > {lo}:")
+                self._ind += 1
+                arange = f"np.arange({lo}, {hi}, {st}, dtype=np.int64)"
+                self.emit(f"{vi} = {arange}[::-1]" if backwards
+                          else f"{vi} = {arange}")
+                self._lower_vector_body(body, vi)
+                self._ind -= 1
+            else:
+                vi = self.bind(ivar, False)
+                rng = f"range({lo}, {hi}, {st})"
+                if backwards:
+                    rng = f"reversed({rng})"
+                self.emit(f"for {vi} in {rng}:")
+                self._ind += 1
+                self.lower_block(body)
+                self._ind -= 1
+            if not op.attrs.get("nowait"):
+                self.emit("yield BarrierEvent()")
+        elif simd:
+            vi = self.bind(ivar, True)
+            self.emit(f"if {ub} > {lb}:")
+            self._ind += 1
+            self.emit(f"{vi} = np.arange({lb}, {ub}, {st}, dtype=np.int64)")
+            self._lower_vector_body(body, vi)
+            self._ind -= 1
+        else:
+            # Serial loop: uniform induction variable at any depth.
+            vi = self.bind(ivar, False)
+            self.emit(f"for {vi} in range({lb}, {ub}, {st}):")
+            self._ind += 1
+            self.lower_block(body)
+            self._ind -= 1
+
+    def lower_parallel_for(self, op) -> None:
+        if self.depth > 0:
+            self.lower_bridge(op)
+            return
+        self.flush_seg()
+        lb, ub = self.fresh("_lb"), self.fresh("_ub")
+        self.emit(f"{lb} = int({self.ref(op.operands[0])})")
+        self.emit(f"{ub} = int({self.ref(op.operands[1])})")
+        nt = self.fresh("_nt")
+        self.emit(f"{nt} = rt.config.num_threads")
+        self.emit("rt.flush_serial()")
+        sc, sth = self.fresh("_sc"), self.fresh("_sth")
+        sm, smc = self.fresh("_sm"), self.fresh("_smc")
+        tcs, t, c = self.fresh("_tcs"), self.fresh("_pt"), self.fresh("_pc")
+        lo, hi = self.fresh("_lo"), self.fresh("_hi")
+        self.emit(f"{sc} = rt.cost")
+        self.emit(f"{sth} = rt.current_thread")
+        self.emit(f"{sm}, {smc} = rt.mask, rt.mask_count")
+        self.emit("rt.mask, rt.mask_count = None, 0")
+        self.emit("rt._noyield += 1")
+        self.emit(f"{tcs} = []")
+        self.emit("try:")
+        self._ind += 1
+        self.emit(f"for {t} in range({nt}):")
+        self._ind += 1
+        self.emit(f"{lo}, {hi} = chunk_bounds({lb}, {ub}, 1, {t}, {nt})")
+        self.emit(f"{c} = CostVector()")
+        self.emit(f"rt.cost = {c}")
+        self.emit(f"rt.current_thread = {t}")
+        body = op.regions[0]
+        vi = self.bind(body.args[0], True)
+        self.emit(f"if {hi} > {lo}:")
+        self._ind += 1
+        self.emit(f"{vi} = np.arange({lo}, {hi}, dtype=np.int64)")
+        self._lower_vector_body(body, vi)
+        self._ind -= 1
+        self.emit(f"{tcs}.append({c})")
+        self.emit(f"rt.raw_total.merge({c})")
+        self._ind -= 2
+        self.emit("finally:")
+        self._ind += 1
+        self.emit("rt._noyield -= 1")
+        self.emit(f"rt.cost = {sc}")
+        self.emit(f"rt.current_thread = {sth}")
+        self.emit(f"rt.mask, rt.mask_count = {sm}, {smc}")
+        self._ind -= 1
+        self.emit(f"rt.clock += rt.machine.parallel_region_time("
+                  f"{tcs}, {nt}, rt.procs_on_node)")
+
+    def lower_if(self, op) -> None:
+        cv = self.vary_of(op.operands[0])
+        if cv is None:
+            self.lower_bridge(op)
+            return
+        self.flush_seg()
+        c = self.ref(op.operands[0])
+        then_body, else_body = op.regions
+        if cv is False:
+            self.emit(f"if {c}:")
+            self._ind += 1
+            if then_body.ops:
+                self.lower_block(then_body)
+            else:
+                self.emit("pass")
+            self._ind -= 1
+            if else_body.ops:
+                self.emit("else:")
+                self._ind += 1
+                self.lower_block(else_body)
+                self._ind -= 1
+            return
+        # Masked (vectorized) if — mirrors Interpreter._exec_if,
+        # publishing the live mask to rt so loads/stores/bridges see it.
+        om, omc = self.fresh("_om"), self.fresh("_omc")
+        self.emit(f"{om}, {omc} = rt.mask, rt.mask_count")
+        self.emit("try:")
+        self._ind += 1
+        saved_w = self.wexpr
+        if then_body.ops:
+            mt = self.fresh("_mt")
+            self.emit(f"{mt} = {c} if {om} is None else ({om} & {c})")
+            self.emit(f"if {mt}.any():")
+            self._ind += 1
+            wd = self.fresh("_wd")
+            self.emit(f"rt.mask = {mt}")
+            self.emit(f"{wd} = int({mt}.sum())")
+            self.emit(f"rt.mask_count = {wd}")
+            self.wexpr = wd
+            self.lower_block(then_body)
+            self.wexpr = saved_w
+            self._ind -= 1
+        if else_body.ops:
+            me = self.fresh("_me")
+            self.emit(f"{me} = ~{c} if {om} is None else ({om} & ~{c})")
+            self.emit(f"if {me}.any():")
+            self._ind += 1
+            wd = self.fresh("_wd")
+            self.emit(f"rt.mask = {me}")
+            self.emit(f"{wd} = int({me}.sum())")
+            self.emit(f"rt.mask_count = {wd}")
+            self.wexpr = wd
+            self.lower_block(else_body)
+            self.wexpr = saved_w
+            self._ind -= 1
+        if not then_body.ops and not else_body.ops:
+            self.emit("pass")
+        self._ind -= 1
+        self.emit("finally:")
+        self.emit(f"    rt.mask, rt.mask_count = {om}, {omc}")
+
+    def lower_while(self, op) -> None:
+        self.flush_seg()
+        body = op.regions[0]
+        cnt, lim = self.fresh("_cnt"), self.fresh("_lim")
+        vi = self.bind(body.args[0], False)
+        self.emit(f"{cnt} = 0")
+        self.emit(f"{lim} = rt.config.max_while_iters")
+        self.emit("while True:")
+        self._ind += 1
+        self.emit(f"{vi} = {cnt}")
+        self.lower_block(body)
+        self.emit(f"{cnt} += 1")
+        self.emit(f"if {cnt} > {lim}:")
+        self.emit(f"    raise InterpreterError('while loop exceeded ' + "
+                  f"str({lim}) + ' iterations')")
+        self.emit("if not rt._while_flag:")
+        self.emit("    break")
+        self._ind -= 1
+
+    def lower_fork(self, op) -> None:
+        if self.depth > 0:
+            self.lower_bridge(op)
+            return
+        self.flush_seg()
+        want, nt = self.fresh("_want"), self.fresh("_fnt")
+        self.emit(f"{want} = int({self.ref(op.operands[0])})")
+        self.emit(f"{nt} = {want} if {want} > 0 else rt.config.num_threads")
+        body = op.regions[0]
+        tid = self.bind(body.args[0], False)
+        nth = self.bind(body.args[1], False)
+        fb = self.fresh("_fb")
+        self.emit(f"def {fb}({tid}, {nth}):")
+        self._ind += 1
+        self.emit("if False:")
+        self.emit("    yield")
+        self.lower_block(body)
+        self.emit("return")
+        self._ind -= 1
+        self.emit(f"yield from _rf(rt, {nt}, {fb})")
+
+    def lower_call(self, op) -> None:
+        self.flush_seg()
+        args = ", ".join(self.ref(v) for v in op.operands)
+        args = f"[{args}]"
+        call = f"yield from _ca(rt, {self.konst(op)}, {args})"
+        if op.result is not None:
+            res = self.bind(op.result, None if self.depth > 0 else False)
+            self.emit(f"{res} = {call}")
+        else:
+            self.emit(call)
+
+    # ------------------------------------------------------------------
+    def lower_bridge(self, op) -> None:
+        """Hand one op (with regions) to the interpreter, op-by-op.
+
+        Free SSA values become an interpreter ``env``; the op executes
+        through ``rt._gen_dispatch`` against the same runtime state, so
+        results, costs and clock are bit-identical.
+        """
+        self.flush_seg()
+        env = self.fresh("_env")
+        items = ", ".join(
+            f"{self.konst(v)}: {self.ref(v)}" for v in free_values(op))
+        self.emit(f"{env} = {{{items}}}")
+        self.emit(f"yield from _bg(rt, {self.konst(op)}, {env})")
+        if op.result is not None:
+            res = self.bind(op.result, None)
+            self.emit(f"{res} = {env}[{self.konst(op.result)}]")
+
+
+def lower_function(fn) -> tuple[str, dict]:
+    """Lower ``fn``; returns ``(python_source, const_globals)``."""
+    return Lowerer(fn).build()

@@ -88,7 +88,7 @@ class Op:
     """
 
     __slots__ = ("opcode", "operands", "attrs", "regions", "result",
-                 "parent", "uid")
+                 "parent", "uid", "_interp")
 
     def __init__(self, opcode: str, operands: list[Value],
                  result_type: Optional[Type] = None,
@@ -103,6 +103,9 @@ class Op:
             r.parent_op = self
         self.parent: Optional[Block] = None
         self.uid = next(_op_counter)
+        #: Interpreter scratch: decoded operand accessors, filled lazily
+        #: by the dispatch fast path (never part of IR semantics).
+        self._interp = None
         if result_type is not None and result_type is not Void:
             self.result = Result(result_type, self, name or f"%{self.uid}")
         else:

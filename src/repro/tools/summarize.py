@@ -85,6 +85,32 @@ def render_sanitize_report(payload: dict) -> str:
                      f"LintResult.to_json() or RaceChecker.to_json() output")
 
 
+def render_backend_report(payload: dict) -> str:
+    """Render ``repro.tools.bench_backend`` JSON as a benchmark table."""
+    if payload.get("tool") != "backend-bench":
+        raise ValueError(f"not a backend-bench report "
+                         f"(tool={payload.get('tool')!r}); expected "
+                         f"bench_backend --out output")
+    rows = [{"case": r["case"],
+             "headline": "yes" if r.get("headline") else "",
+             "interp_s": r["interp_seconds"],
+             "compiled_s": r["compiled_seconds"],
+             "speedup": f"{r['speedup']:.2f}x",
+             "max_abs_dev": f"{r['max_abs_dev']:.1e}",
+             "clock": "=" if r["clock_match"] else "DIVERGED",
+             "cost": "=" if r["cost_match"] else "DIVERGED"}
+            for r in payload.get("rows", [])]
+    title = (f"backend-bench ({payload.get('mode', '?')}): "
+             f"compiled vs interp, headline speedup "
+             f"{payload.get('speedup', '?')}x, "
+             f"max |dev| {payload.get('max_abs_dev', '?')}")
+    if not rows:
+        return f"== {title} ==\nno cases\n"
+    cols = list(rows[0].keys())
+    return format_table(title, cols,
+                        [[r.get(c) for c in cols] for r in rows])
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--results", type=pathlib.Path, default=DEFAULT_DIR)
@@ -94,13 +120,20 @@ def main(argv=None) -> int:
                     help="render a sanitizer JSON report (lint or "
                          "racecheck output) instead of benchmark results; "
                          "repeatable")
+    ap.add_argument("--backend-report", metavar="FILE", action="append",
+                    type=pathlib.Path, default=[],
+                    help="render a bench_backend JSON report "
+                         "(BENCH_backend.json); repeatable")
     ap.add_argument("names", nargs="*",
                     help="result names to show (default: all)")
     args = ap.parse_args(argv)
-    if args.sanitize_report:
+    if args.sanitize_report or args.backend_report:
         for path in args.sanitize_report:
             with open(path) as f:
                 print(render_sanitize_report(json.load(f)))
+        for path in args.backend_report:
+            with open(path) as f:
+                print(render_backend_report(json.load(f)))
         return 0
     data = load(args.results)
     if not data:

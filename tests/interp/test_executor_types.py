@@ -48,6 +48,29 @@ def test_object_buffers_for_handles():
     assert xs[0] == 4.0
 
 
+def test_handle_buffer_with_numeric_dtype_rejected():
+    b = IRBuilder()
+    with b.function("t", [("tasks", Ptr(Task))]) as f:
+        pass
+    with pytest.raises(TypeError, match="dtype=object"):
+        Executor(b.module).run("t", np.zeros(1))
+
+
+def test_no_dtype_for_handle_elem_is_typed_error():
+    """_np_elem_dtype must raise a typed error for non-numeric element
+    types instead of silently falling back to dtype=object."""
+    from repro.interp import InterpreterError
+    from repro.interp.executor import _np_elem_dtype
+
+    assert _np_elem_dtype(F64) is np.float64
+    assert _np_elem_dtype(I64) is np.int64
+    assert _np_elem_dtype(I1) is np.bool_
+    with pytest.raises(InterpreterError, match="no NumPy dtype"):
+        _np_elem_dtype(Task)
+    with pytest.raises(InterpreterError, match="no NumPy dtype"):
+        _np_elem_dtype(Ptr())
+
+
 def test_multidim_array_rejected():
     b = IRBuilder()
     with b.function("m", [("x", Ptr())]) as f:
