@@ -212,7 +212,7 @@ def reverse_mpi_call(t, op: CallOp, scope) -> None:
     if callee in ("mpi.comm_rank", "mpi.comm_size"):
         return
     if callee == "mpi.barrier":
-        b.call("mpi.barrier")
+        b.call("mpi.barrier", ad="reverse")
         return
 
     if callee == "mpi.wait":
@@ -237,7 +237,7 @@ def reverse_mpi_call(t, op: CallOp, scope) -> None:
         dest = t._avail(op.operands[2], scope)
         tag = t._avail(op.operands[3], scope)
         tmp = b.alloc(count, F64, name="d_sendtmp")
-        b.call("mpi.recv", tmp, count, dest, tag)
+        b.call("mpi.recv", tmp, count, dest, tag, ad="reverse")
         with b.for_(0, count, simd=True, name="k") as k:
             cur = b.load(d_buf, k)
             b.store(b.add(cur, b.load(tmp, k)), d_buf, k)
@@ -248,7 +248,7 @@ def reverse_mpi_call(t, op: CallOp, scope) -> None:
         count = t._avail(op.operands[1], scope)
         src = t._avail(op.operands[2], scope)
         tag = t._avail(op.operands[3], scope)
-        b.call("mpi.send", d_buf, count, src, tag)
+        b.call("mpi.send", d_buf, count, src, tag, ad="reverse")
         b.memset(d_buf, 0.0, count)
         return
 

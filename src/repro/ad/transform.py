@@ -120,6 +120,14 @@ class ADConfig:
     #: thread-locality analysis.  "serial" deliberately seeds races —
     #: the sanitizer's cross-validation harness uses it.
     force_increment_kind: Optional[str] = None
+    #: Run the static MPI communication analyzer and adjoint-duality
+    #: verifier on the generated gradient (commcheck is the
+    #: message-passing counterpart of ``sanitize``).  ``True`` checks
+    #: the default communicator sizes; a tuple of ints checks those
+    #: sizes.  Raises :class:`repro.sanitize.commcheck.CommCheckError`
+    #: on error-severity findings; the report is kept on the transform
+    #: (``ADTransform.comm_result``) either way.
+    commcheck: object = False
 
 
 def _top_level_ancestor(op: Op) -> Op:
@@ -193,6 +201,7 @@ class ADTransform:
         self._spawn_of_wait: dict[Op, tuple[Op, list]] = {}
         self._slots_by_outer_dim: dict[Optional[Op], list[CacheSlot]] = {}
         self.lint_result = None              # set when config.sanitize
+        self.comm_result = None              # set when config.commcheck
         self._mpi_buffers: list = []
 
     # ==================================================================
@@ -281,6 +290,18 @@ class ADTransform:
             self.lint_result = lint_function(self.grad, self.module)
             if self.lint_result.errors:
                 raise LintError(self.lint_result)
+        self.comm_result = None
+        if self.config.commcheck:
+            from ..sanitize.commcheck import (CommCheckError,
+                                              DEFAULT_SIZES,
+                                              verify_duality)
+            sizes = (tuple(self.config.commcheck)
+                     if isinstance(self.config.commcheck, (tuple, list))
+                     else DEFAULT_SIZES)
+            self.comm_result = verify_duality(
+                self.module, self.src_name, self.grad_name, sizes=sizes)
+            if self.comm_result.errors:
+                raise CommCheckError(self.comm_result)
         return self.grad_name
 
     # ==================================================================

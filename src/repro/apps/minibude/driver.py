@@ -10,6 +10,7 @@ import numpy as np
 from ...ad import ADConfig, Duplicated, autodiff
 from ...baselines.codipack import CoDiPackTape, codipack_gradient
 from ...interp import ExecConfig, Executor
+from ...parallel import SimMPI
 from ...perf.machine import MachineModel, c6i_metal
 from .deck import Deck, make_deck
 from .kernels import ARG_NAMES, build_minibude
@@ -28,9 +29,12 @@ class MinibudeApp:
                  ntasks: int = 8,
                  ad_config: Optional[ADConfig] = None,
                  machine: Optional[MachineModel] = None,
-                 sanitize: bool = False, backend: str = "interp") -> None:
+                 sanitize: bool = False, backend: str = "interp",
+                 nprocs: int = 4) -> None:
         self.variant = variant
         self.deck = deck or make_deck()
+        #: Simulated communicator size (mpi variant only).
+        self.nprocs = nprocs
         self.machine = machine or c6i_metal()
         self.module, self.fn = build_minibude(
             variant, self.deck.nprotein, self.deck.nligand,
@@ -60,8 +64,26 @@ class MinibudeApp:
         flat = self.deck.flat_args()
         return flat, tuple(flat[n] for n in ARG_NAMES)
 
+    def _mpi_flats(self, deck: Optional[Deck] = None) -> list[dict]:
+        """Per-rank argument sets.  Only rank 0 holds the poses (the
+        kernel broadcasts them), which makes a missing bcast fail
+        loudly rather than silently replicate."""
+        deck = deck or self.deck
+        flats = [deck.flat_args() for _ in range(self.nprocs)]
+        for flat in flats[1:]:
+            flat["poses"][...] = 0.0
+        return flats
+
     # ------------------------------------------------------------------
     def run_forward(self, num_threads: int = 1) -> BudeResult:
+        if self.variant == "mpi":
+            flats = self._mpi_flats()
+            engine = SimMPI(self.module, self.nprocs,
+                            self._config(num_threads), self.machine)
+            res = engine.run(self.fn, lambda r: tuple(
+                flats[r][n] for n in ARG_NAMES))
+            return BudeResult(flats[0]["energies"], res.time,
+                              res.total_cost)
         flat, args = self._args()
         ex = Executor(self.module, self._config(num_threads))
         ex.run(self.fn, *args)
@@ -69,7 +91,29 @@ class MinibudeApp:
 
     def run_gradient(self, num_threads: int = 1,
                      seed: float = 1.0) -> tuple[dict, BudeResult]:
-        """Gradient with d(energies) seeded; returns shadows by name."""
+        """Gradient with d(energies) seeded; returns shadows by name.
+
+        For the mpi variant only rank 0's output shadow is seeded, so
+        after the adjoint collectives (allreduce→allreduce, bcast→
+        reduce onto root) rank 0's ``poses`` shadow equals the serial
+        gradient; rank 0's shadows are returned."""
+        if self.variant == "mpi":
+            flats = self._mpi_flats()
+            shadows = [{n: np.zeros_like(flats[r][n]) for n in ARG_NAMES}
+                       for r in range(self.nprocs)]
+            shadows[0]["energies"][...] = seed
+
+            def grad_args(r: int) -> tuple:
+                out = []
+                for n in ARG_NAMES:
+                    out += [flats[r][n], shadows[r][n]]
+                return tuple(out)
+
+            engine = SimMPI(self.module, self.nprocs,
+                            self._config(num_threads), self.machine)
+            res = engine.run(self.grad_fn(), grad_args)
+            return shadows[0], BudeResult(flats[0]["energies"], res.time,
+                                          res.total_cost)
         flat, args = self._args()
         shadows = {n: np.zeros_like(flat[n]) for n in ARG_NAMES}
         shadows["energies"][...] = seed
@@ -98,6 +142,13 @@ class MinibudeApp:
             deck = make_deck(self.deck.nprotein, self.deck.nligand,
                              self.deck.nposes)
             deck.poses[...] = self.deck.poses + delta
+            if self.variant == "mpi":
+                flats = self._mpi_flats(deck)
+                engine = SimMPI(self.module, self.nprocs,
+                                self._config(num_threads), self.machine)
+                engine.run(self.fn, lambda r: tuple(
+                    flats[r][n] for n in ARG_NAMES))
+                return float(flats[0]["energies"].sum())
             flat = deck.flat_args()
             ex = Executor(self.module, self._config(num_threads))
             ex.run(self.fn, *(flat[n] for n in ARG_NAMES))

@@ -1,9 +1,12 @@
 """IR emission of the miniBUDE proxy energy kernel.
 
 Variants (paper §VII): ``serial``, C++-style ``openmp`` (kmpc closure +
-worksharing over poses), and ``julia`` (one spawned task per pose
-chunk, as the paper's miniBUDE.jl uses Julia tasks; the core kernel is
-no-inlined, matching §VII-A-c).
+worksharing over poses), ``julia`` (one spawned task per pose chunk, as
+the paper's miniBUDE.jl uses Julia tasks; the core kernel is no-inlined,
+matching §VII-A-c), and ``mpi`` (rank 0 broadcasts the poses, ranks
+evaluate a block partition into a local buffer, and an
+``allreduce(sum)`` assembles the energies — the bulk-synchronous
+decomposition exercised by the commcheck duality verifier).
 
 The pose loop is the parallel dimension; the per-pose body rotates and
 translates each ligand atom, then accumulates steric, electrostatic,
@@ -41,7 +44,7 @@ ARG_NAMES = ("protein_xyz", "protein_radius", "protein_charge",
              "protein_hphb", "ligand_xyz", "ligand_radius",
              "ligand_charge", "ligand_hphb", "poses", "energies")
 
-VARIANTS = ("serial", "openmp", "julia")
+VARIANTS = ("serial", "openmp", "julia", "mpi")
 
 
 def build_minibude(variant: str, nprotein: int, nligand: int,
@@ -93,6 +96,25 @@ def build_minibude(variant: str, nprotein: int, nligand: int,
                 b.store(t, tasks, c)
             for c in range(ntasks):
                 b.call("task.wait", b.load(tasks, c))
+        elif variant == "mpi":
+            rank = b.call("mpi.comm_rank")
+            size = b.call("mpi.comm_size")
+            # Rank 0 owns the candidate poses; the deck geometry is
+            # replicated, so only the poses travel.
+            b.call("mpi.bcast", A["poses"], 6 * nposes, 0)
+            local = b.alloc(nposes, name="local_energies")
+            b.memset(local, 0.0, nposes)
+            per = b.idiv(b.add(nposes - 1, size), size)
+            lo = b.mul(rank, per)
+            hi = b.add(lo, per)
+            hi = b.select(b.cmp("lt", hi, nposes), hi,
+                          b.const(nposes, I64))
+            with b.for_(lo, hi, simd=True, name="pose") as i:
+                _emit_pose_body(b, i,
+                                lambda v: local if v is A["energies"]
+                                else v, A, nprotein, nligand)
+            b.call("mpi.allreduce", local, A["energies"], nposes,
+                   op="sum")
         else:
             with b.for_(0, nposes, simd=True, name="pose") as i:
                 _emit_pose_body(b, i, lambda v: v, A, nprotein, nligand)

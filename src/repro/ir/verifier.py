@@ -8,7 +8,12 @@ Checks the structural invariants the rest of the stack relies on:
   ``condition`` terminating while bodies, ``return`` at function top
   level only),
 * callee existence and arity,
-* pointer-typed operands where memory ops require them.
+* pointer-typed operands where memory ops require them,
+* request hygiene: a ``request``-typed value may only flow into a call
+  argument declared ``request`` (wait/test and the mpid adjoint
+  helpers), request-array stores, cache pushes, or a ``request``
+  return — and, conversely, a declared ``request`` argument must
+  receive one.
 
 The verifier raises :class:`VerificationError` with a path to the
 offending op.
@@ -125,7 +130,52 @@ def _check_placement(op: Op, index: int, block: Block,
             raise _err(fn, op, "barrier inside parallel_for body")
 
 
+#: Opcodes through which a request-typed value may legally flow (the
+#: pointer/index/element rules above constrain the exact positions).
+_REQUEST_SINKS = frozenset({"call", "store", "cache_push", "return"})
+
+
+def _check_request_flow(op: Op, fn: Function, module: Module) -> None:
+    from .types import Request
+    oc = op.opcode
+    if oc == "call":
+        try:
+            target = module.lookup_callee(op.attrs["callee"])
+        except KeyError:
+            return      # reported by the arity/existence check
+        from .function import IntrinsicInfo
+        if isinstance(target, IntrinsicInfo):
+            decl = list(target.arg_types)
+            variadic = target.variadic
+        else:
+            decl = [a.type for a in target.args]
+            variadic = False
+        for i, v in enumerate(op.operands):
+            want = decl[i] if i < len(decl) else None
+            if v.type is Request:
+                if want is not Request and not (variadic and
+                                                i >= len(decl)):
+                    raise _err(fn, op,
+                               f"request-typed operand #{i} passed to "
+                               f"{op.attrs['callee']} where {want} is "
+                               f"expected")
+            elif want is Request:
+                raise _err(fn, op,
+                           f"operand #{i} of {op.attrs['callee']} must "
+                           f"be a request, got {v.type}")
+        return
+    if not any(v.type is Request for v in op.operands):
+        return
+    if oc not in _REQUEST_SINKS:
+        raise _err(fn, op, f"request-typed value used by {oc!r}; "
+                   f"requests may only flow into wait/test calls, "
+                   f"request-array stores, cache pushes, or returns")
+    if oc == "cache_push" and op.operands[0].type is Request:
+        raise _err(fn, op, "cache handle cannot be a request")
+
+
 def _check_op(op: Op, fn: Function, module: Module) -> None:
+    _check_request_flow(op, fn, module)
     oc = op.opcode
     if oc in ("load", "store", "atomic", "ptradd", "memset", "memcpy", "free"):
         ptr_index = {"load": 0, "store": 1, "atomic": 1, "ptradd": 0,

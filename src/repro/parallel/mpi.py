@@ -11,9 +11,16 @@ setup (§VII-e).
 
 Semantics notes:
 
-* blocking sends are *eager/buffered* (they never block the sender) —
-  this keeps symmetric exchange patterns deadlock-free in both the
-  primal and the adjoint, where every send/recv pair is mirrored;
+* blocking sends default to *eager/buffered* (they never block the
+  sender) — this keeps symmetric exchange patterns deadlock-free in
+  both the primal and the adjoint, where every send/recv pair is
+  mirrored.  Pass ``rendezvous_sends=True`` (or set a byte
+  ``eager_limit`` on the :class:`~repro.perf.machine.MachineModel`) to
+  make sends block until the receiver has posted a matching receive,
+  as real MPI does above its eager threshold — head-to-head ``Send``/
+  ``Send`` exchanges then deadlock here exactly as they would in
+  production, and are flagged statically by
+  :mod:`repro.sanitize.commcheck`;
 * nonblocking receives are posted and matched in order per
   (source, tag) channel;
 * collectives are SPMD-matched by arrival order and must agree in kind
@@ -70,7 +77,8 @@ class EngineRequest:
 
 
 class _Message:
-    __slots__ = ("src", "dst", "tag", "data", "arrival", "clock")
+    __slots__ = ("src", "dst", "tag", "data", "arrival", "clock",
+                 "send_req")
 
     def __init__(self, src: int, dst: int, tag: int, data: np.ndarray,
                  arrival: float, clock=None) -> None:
@@ -81,6 +89,9 @@ class _Message:
         self.arrival = arrival
         #: Sender's vector-clock snapshot (race sanitizer), or None.
         self.clock = clock
+        #: Rendezvous-mode send request completed at match time, or
+        #: None for eager sends.
+        self.send_req: Optional[EngineRequest] = None
 
 
 def _buf_slice(ptr: PtrVal, count: int) -> np.ndarray:
@@ -125,12 +136,18 @@ class SimMPI:
 
     def __init__(self, module: Module, nprocs: int,
                  config: Optional[ExecConfig] = None,
-                 machine: Optional[MachineModel] = None) -> None:
+                 machine: Optional[MachineModel] = None,
+                 rendezvous_sends: bool = False) -> None:
         self.module = module
         self.nprocs = nprocs
         self.base_config = config or ExecConfig()
         self.machine = machine or self.base_config.machine or c6i_metal()
         self.network = self.machine.network(self.base_config.mpi_impl)
+        #: Blocking/nonblocking sends complete only once matched when
+        #: True; ``machine.eager_limit`` applies the same per-message
+        #: above that many bytes.
+        self.rendezvous_sends = rendezvous_sends
+        self.eager_limit = getattr(self.machine, "eager_limit", None)
 
         self.ranks: list[_RankState] = []
         # (dst, src, tag) -> FIFO of messages
@@ -235,12 +252,23 @@ class SimMPI:
                            f"tag={ev.tag}")
                 clock = ck.snapshot(interp._rc_tid)
             msg = _Message(r, ev.peer, ev.tag, data, arrival, clock)
+            rendezvous = self.rendezvous_sends or (
+                self.eager_limit is not None
+                and 8 * ev.count > self.eager_limit)
+            req = EngineRequest("send", r, ev.peer, ev.tag, ev.count, ev.buf)
+            if rendezvous:
+                msg.send_req = req
+            else:
+                req.matched = True
+                req.complete_at = interp.clock
             self._deliver(msg)
             if kind == "send":
-                st.pending_reply = None
-                return True
-            req = EngineRequest("send", r, ev.peer, ev.tag, ev.count, ev.buf)
-            req.complete_at = interp.clock
+                if req.matched:
+                    interp.clock = max(interp.clock, req.complete_at)
+                    st.pending_reply = None
+                    return True
+                st.blocked_on = ("req", req)
+                return False
             st.pending_reply = req
             return True
         if kind == "irecv":
@@ -269,9 +297,12 @@ class SimMPI:
             if not isinstance(req, EngineRequest):
                 raise InterpreterError(f"rank {r}: wait on {req!r}")
             if req.kind == "send":
-                interp.clock = max(interp.clock, req.complete_at)
-                st.pending_reply = None
-                return True
+                if req.matched:
+                    interp.clock = max(interp.clock, req.complete_at)
+                    st.pending_reply = None
+                    return True
+                st.blocked_on = ("req", req)
+                return False
             if req.matched:
                 interp.clock = max(interp.clock, req.complete_at)
                 self._rc_observe(interp, req)
@@ -341,6 +372,18 @@ class SimMPI:
             st.interp.clock = max(st.interp.clock, req.complete_at)
             self._rc_observe(st.interp, req)
             st.pending_reply = None
+        sreq = msg.send_req
+        if sreq is not None:
+            # Rendezvous: the send completes only now that a matching
+            # receive exists.
+            sreq.matched = True
+            sreq.complete_at = msg.arrival
+            sst = self.ranks[sreq.rank]
+            if sst.blocked_on and sst.blocked_on[0] == "req" and \
+                    sst.blocked_on[1] is sreq:
+                sst.blocked_on = None
+                sst.interp.clock = max(sst.interp.clock, sreq.complete_at)
+                sst.pending_reply = None
 
     def _rc_observe(self, interp: Interpreter, req: EngineRequest) -> None:
         """Receiver observes a completed receive: acquire the delivery

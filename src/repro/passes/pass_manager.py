@@ -96,6 +96,20 @@ def sanitize_pipeline(on_error: str = "ignore",
                        verify_each=verify_each, max_rounds=1)
 
 
+def commcheck_pipeline(sizes: tuple = (2, 3), on_error: str = "ignore",
+                       verify_each: bool = False) -> PassManager:
+    """Analysis-only pipeline running the static MPI communication
+    analyzer (matching, collectives, request lifetimes, rendezvous
+    deadlocks) on every communicating function.  ``on_error="raise"``
+    turns error findings into a ``sanitize.commcheck.CommCheckError``;
+    the pass never mutates IR, so the manager converges in one round.
+    """
+    from ..sanitize.commcheck import CommCheckPass
+
+    return PassManager([CommCheckPass(sizes=sizes, on_error=on_error)],
+                       verify_each=verify_each, max_rounds=1)
+
+
 def cleanup_pipeline(verify_each: bool = False) -> PassManager:
     """Post-AD cleanup (fold the index arithmetic the transform emits)."""
     from .constfold import ConstantFold

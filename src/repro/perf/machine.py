@@ -84,6 +84,10 @@ class MachineModel:
         "mpich": MPINetwork(alpha=2.6e-6, beta=1.55e-10),
     })
     default_network: str = "openmpi"
+    #: Messages above this many bytes use rendezvous (sender blocks
+    #: until the receive is posted) in SimMPI; None keeps every
+    #: blocking send eager/buffered.
+    eager_limit: int | None = None
 
     max_cores: int = 64
 

@@ -15,12 +15,30 @@ hardware.  This package is the safety net:
 * :mod:`repro.sanitize.racecheck` — a vector-clock happens-before
   detector threaded through the interpreter (``ExecConfig.sanitize``)
   and the SimMPI engine, raising :class:`RaceReport` on any unordered
-  conflicting pair of accesses.
+  conflicting pair of accesses;
+* :mod:`repro.sanitize.commcheck` (+ :mod:`repro.sanitize.commgraph`)
+  — the message-passing counterpart: a static abstract-interpretation
+  pass that extracts each rank's symbolic communication endpoints,
+  checks the instantiated cross-rank graph (matching, collectives,
+  request lifetimes, rendezvous deadlocks), and verifies the
+  AD-generated adjoint graph is the edge-reversed transpose of the
+  primal's (Fig. 5).
 
-The two layers cross-validate: lint-clean programs must run race-free
-under the dynamic checker (see ``tests/properties``).
+The layers cross-validate: lint-clean programs must run race-free
+under the dynamic checker, and commcheck-clean programs must complete
+under ``SimMPI(rendezvous_sends=True)`` (see ``tests/properties`` and
+``tests/sanitize``).
 """
 
+from .commcheck import (
+    CommCheckError,
+    CommCheckPass,
+    CommReport,
+    commcheck_function,
+    commcheck_module,
+    verify_duality,
+)
+from .commgraph import CommEvent, DiagSink
 from .lint import (
     Diagnostic,
     LintError,
@@ -32,12 +50,20 @@ from .lint import (
 from .racecheck import RaceChecker, RaceReport
 
 __all__ = [
+    "CommCheckError",
+    "CommCheckPass",
+    "CommEvent",
+    "CommReport",
+    "DiagSink",
     "Diagnostic",
     "LintError",
     "LintResult",
-    "ShadowRaceLint",
-    "lint_function",
-    "lint_module",
     "RaceChecker",
     "RaceReport",
+    "ShadowRaceLint",
+    "commcheck_function",
+    "commcheck_module",
+    "lint_function",
+    "lint_module",
+    "verify_duality",
 ]

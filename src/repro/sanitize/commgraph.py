@@ -1,0 +1,452 @@
+"""Cross-rank communication graphs and their structural checks.
+
+:mod:`repro.sanitize.commcheck` abstractly executes an IR function once
+per rank for a concrete communicator size and produces, for every rank,
+an ordered *trace* of :class:`CommEvent` records.  This module holds the
+graph side of the analyzer: matching point-to-point endpoints into
+edges, comparing collective sequences across ranks, auditing request
+lifetimes, simulating the trace under rendezvous semantics to find
+blocking-send cycles, and checking the adjoint trace of a gradient
+function against the edge-reversed transpose of its primal (Fig. 5).
+
+Severity follows :mod:`repro.sanitize.lint`: ``error`` findings are
+provable structural bugs in the extracted traces; ``warn`` findings mark
+places where extraction lost precision (so a clean report means *no
+structural communication bug among the statically resolved events*).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.ops import Op
+from ..ir.printer import print_op
+from .lint import ERROR, WARN, Diagnostic
+
+#: Point-to-point transmit / receive event kinds.
+P2P_TX = frozenset({"send", "isend"})
+P2P_RX = frozenset({"recv", "irecv"})
+#: Collective event kinds (``winner_mask`` is the MINLOC-style
+#: collective the augmented forward pass adds for min/max allreduce).
+COLLECTIVES = frozenset({"allreduce", "reduce", "bcast", "barrier",
+                         "winner_mask"})
+
+
+@dataclass
+class CommEvent:
+    """One communication action of one rank, in program order."""
+
+    kind: str                       # p2p kind, collective kind, or "wait"
+    rank: int
+    peer: Optional[int] = None      # resolved peer rank (p2p)
+    tag: Optional[int] = None
+    count: Optional[int] = None
+    red_op: Optional[str] = None    # reduction op for (all)reduce
+    root: Optional[int] = None      # root rank for reduce/bcast
+    buf: Optional[object] = None    # abstract buffer identity (display)
+    req: Optional[int] = None       # request id (posts and waits)
+    blocking: bool = True           # False for isend/irecv posts
+    #: "primal" for undifferentiated functions; gradient traces split
+    #: into "forward" (clones of the primal), "adjoint" (reverse-pass
+    #: communication), and "augmented" (extra forward collectives such
+    #: as winner_mask, which have no primal counterpart).
+    provenance: str = "primal"
+    maybe: bool = False             # under an unresolved guard
+    op: Optional[Op] = None         # IR op for diagnostics
+    # Symbolic endpoint strings (filled by the symbolic-summary run).
+    peer_s: Optional[str] = None
+    tag_s: Optional[str] = None
+    count_s: Optional[str] = None
+
+    def describe(self) -> str:
+        bits = [f"{self.kind}"]
+        if self.kind in P2P_TX:
+            bits.append(f"rank{self.rank}->rank{self.peer}")
+        elif self.kind in P2P_RX:
+            bits.append(f"rank{self.rank}<-rank{self.peer}")
+        else:
+            bits.append(f"rank{self.rank}")
+        if self.tag is not None:
+            bits.append(f"tag={self.tag}")
+        if self.count is not None:
+            bits.append(f"count={self.count}")
+        if self.red_op:
+            bits.append(f"op={self.red_op}")
+        if self.root is not None:
+            bits.append(f"root={self.root}")
+        return " ".join(bits)
+
+
+class DiagSink:
+    """Diagnostic collector deduplicating per (severity, code, op)."""
+
+    def __init__(self, fn: str) -> None:
+        self.fn = fn
+        self.items: list[Diagnostic] = []
+        self._seen: set = set()
+
+    def add(self, severity: str, code: str, message: str,
+            op: Optional[Op] = None, related: Optional[Op] = None) -> None:
+        key = (severity, code,
+               op.uid if op is not None else message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.items.append(Diagnostic(severity, code, message, self.fn,
+                                     op, related))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.items if d.severity == ERROR]
+
+
+def _matchable(ev: CommEvent) -> bool:
+    return not ev.maybe and ev.peer is not None
+
+
+# ---------------------------------------------------------------------------
+# Point-to-point matching
+# ---------------------------------------------------------------------------
+
+def check_p2p(traces: list[list[CommEvent]], sink: DiagSink) -> bool:
+    """Pair sends with receives per (src, dst, tag) channel.
+
+    Returns True when every resolved endpoint matched with equal count.
+    """
+    tx: dict[tuple, list[CommEvent]] = {}
+    rx: dict[tuple, list[CommEvent]] = {}
+    for trace in traces:
+        for ev in trace:
+            if ev.kind in P2P_TX and _matchable(ev):
+                tx.setdefault((ev.rank, ev.peer, ev.tag), []).append(ev)
+            elif ev.kind in P2P_RX and _matchable(ev):
+                rx.setdefault((ev.peer, ev.rank, ev.tag), []).append(ev)
+    ok = True
+    for chan in sorted(set(tx) | set(rx), key=repr):
+        src, dst, tag = chan
+        ts, rs = tx.get(chan, []), rx.get(chan, [])
+        for a, b in zip(ts, rs):
+            if a.count is not None and b.count is not None \
+                    and a.count != b.count:
+                ok = False
+                sink.add(ERROR, "count-mismatch",
+                         f"{a.describe()} paired with a receive of "
+                         f"count={b.count}", a.op, b.op)
+        for ev in ts[len(rs):]:
+            ok = False
+            sink.add(ERROR, "unmatched-p2p",
+                     f"{ev.describe()} has no matching receive"
+                     f"{_near_miss_hint(rx, tx, src, dst, tag)}", ev.op)
+        for ev in rs[len(ts):]:
+            ok = False
+            sink.add(ERROR, "unmatched-p2p",
+                     f"{ev.describe()} has no matching send"
+                     f"{_near_miss_hint(tx, rx, src, dst, tag)}", ev.op)
+    return ok
+
+
+def _near_miss_hint(others: dict, own: dict, src: int, dst: int,
+                    tag) -> str:
+    """If the opposite side has surplus endpoints on the same (src, dst)
+    pair under a different tag, say so — almost always a tag typo."""
+    for (s, d, t), evs in others.items():
+        if s == src and d == dst and t != tag:
+            if len(evs) > len(own.get((s, d, t), [])):
+                return f" (unmatched endpoint with tag={t} exists " \
+                       f"on the same rank pair — tag mismatch?)"
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# Collectives
+# ---------------------------------------------------------------------------
+
+def _coll_key(ev: CommEvent) -> tuple:
+    return (ev.kind, ev.red_op, ev.count, ev.root)
+
+
+def check_collectives(traces: list[list[CommEvent]],
+                      sink: DiagSink) -> bool:
+    """Every rank must issue the same collective sequence (kind, op,
+    count, root), in the same order."""
+    seqs = [[ev for ev in t if ev.kind in COLLECTIVES and not ev.maybe]
+            for t in traces]
+    lens = {len(s) for s in seqs}
+    if len(lens) > 1:
+        detail = ", ".join(f"rank{r}:{len(s)}" for r, s in enumerate(seqs))
+        first = next((s[0] for s in seqs if s), None)
+        sink.add(ERROR, "collective-divergence",
+                 f"ranks disagree on the number of collectives "
+                 f"({detail})", first.op if first else None)
+        return False
+    ok = True
+    for pos in range(min(lens) if lens else 0):
+        ref = seqs[0][pos]
+        for r in range(1, len(seqs)):
+            ev = seqs[r][pos]
+            if _coll_key(ev) != _coll_key(ref):
+                ok = False
+                sink.add(ERROR, "collective-divergence",
+                         f"collective #{pos} diverges across ranks: "
+                         f"rank0 issues {ref.describe()} but rank{r} "
+                         f"issues {ev.describe()}", ref.op, ev.op)
+    return ok
+
+
+# ---------------------------------------------------------------------------
+# Request lifetimes
+# ---------------------------------------------------------------------------
+
+def check_request_lifetime(trace: list[CommEvent], sink: DiagSink) -> None:
+    """Missing / double waits over one rank's trace."""
+    pending: dict[int, CommEvent] = {}
+    completed: set[int] = set()
+    for ev in trace:
+        if ev.req is None:
+            continue
+        if ev.kind in P2P_TX or ev.kind in P2P_RX:
+            if not ev.blocking and not ev.maybe:
+                pending[ev.req] = ev
+        elif ev.kind == "wait" and not ev.maybe:
+            if ev.req in pending:
+                del pending[ev.req]
+                completed.add(ev.req)
+            elif ev.req in completed:
+                sink.add(ERROR, "double-wait",
+                         f"request already completed is waited on "
+                         f"again ({ev.describe()})", ev.op)
+    for ev in pending.values():
+        sink.add(ERROR, "missing-wait",
+                 f"nonblocking {ev.describe()} is never waited on",
+                 ev.op)
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous-semantics deadlock simulation
+# ---------------------------------------------------------------------------
+
+def simulate_rendezvous(traces: list[list[CommEvent]],
+                        sink: DiagSink) -> bool:
+    """Schedule the traces under rendezvous semantics.
+
+    Blocking sends complete only once the matching receive is posted
+    (and waits on nonblocking sends only once matched), so symmetric
+    head-to-head ``Send``/``Send`` exchanges — which SimMPI's default
+    eager mode hides — show up as a no-progress state here.  Only run
+    after :func:`check_p2p` / :func:`check_collectives` pass, so a
+    reported cycle is an ordering bug, not a missing endpoint.
+    """
+    n = len(traces)
+    runs: list[list[CommEvent]] = []
+    for t in traces:
+        skipped: set[int] = set()
+        lst = []
+        for ev in t:
+            if ev.kind in P2P_TX or ev.kind in P2P_RX:
+                if not _matchable(ev):
+                    if ev.req is not None:
+                        skipped.add(ev.req)
+                    continue
+            elif ev.kind == "wait":
+                if ev.maybe or ev.req is None or ev.req in skipped:
+                    continue
+            elif ev.kind in COLLECTIVES:
+                if ev.maybe:
+                    continue
+            else:
+                continue
+            lst.append(ev)
+        runs.append(lst)
+
+    pcs = [0] * n
+    posted: set[int] = set()
+    matched: set[int] = set()
+    pend_tx: dict[tuple, list[CommEvent]] = {}
+    pend_rx: dict[tuple, list[CommEvent]] = {}
+    post_by_req = [
+        {ev.req: ev for ev in run
+         if ev.req is not None and (ev.kind in P2P_TX or ev.kind in P2P_RX)}
+        for run in runs]
+    at_collective: list[Optional[CommEvent]] = [None] * n
+
+    def post(ev: CommEvent) -> None:
+        if ev.kind in P2P_TX:
+            chan = (ev.rank, ev.peer, ev.tag)
+            q = pend_rx.get(chan)
+            if q:
+                other = q.pop(0)
+                matched.add(id(other))
+                matched.add(id(ev))
+            else:
+                pend_tx.setdefault(chan, []).append(ev)
+        else:
+            chan = (ev.peer, ev.rank, ev.tag)
+            q = pend_tx.get(chan)
+            if q:
+                other = q.pop(0)
+                matched.add(id(other))
+                matched.add(id(ev))
+            else:
+                pend_rx.setdefault(chan, []).append(ev)
+
+    while True:
+        progress = False
+        for r in range(n):
+            while pcs[r] < len(runs[r]):
+                ev = runs[r][pcs[r]]
+                if ev.kind in P2P_TX or ev.kind in P2P_RX:
+                    if id(ev) not in posted:
+                        posted.add(id(ev))
+                        post(ev)
+                    if not ev.blocking or id(ev) in matched:
+                        pcs[r] += 1
+                        progress = True
+                        continue
+                    break
+                if ev.kind == "wait":
+                    pev = post_by_req[r].get(ev.req)
+                    if pev is None or id(pev) in matched:
+                        pcs[r] += 1
+                        progress = True
+                        continue
+                    break
+                # collective: everyone must arrive.
+                at_collective[r] = ev
+                if all(at_collective[q] is not None or pcs[q] >= len(runs[q])
+                       for q in range(n)):
+                    for q in range(n):
+                        if at_collective[q] is not None:
+                            at_collective[q] = None
+                            pcs[q] += 1
+                    progress = True
+                    continue
+                break
+        if all(pcs[r] >= len(runs[r]) for r in range(n)):
+            return True
+        if not progress:
+            stuck = [(r, runs[r][pcs[r]]) for r in range(n)
+                     if pcs[r] < len(runs[r])]
+            detail = "; ".join(f"rank{r} blocked at {ev.describe()}"
+                               for r, ev in stuck)
+            sink.add(ERROR, "rendezvous-deadlock",
+                     f"no progress under rendezvous semantics: {detail}",
+                     stuck[0][1].op,
+                     stuck[1][1].op if len(stuck) > 1 else None)
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Adjoint duality (Fig. 5)
+# ---------------------------------------------------------------------------
+
+def _p2p_edges(traces: list[list[CommEvent]], prov: tuple) -> Counter:
+    c: Counter = Counter()
+    for t in traces:
+        for ev in t:
+            if ev.kind in P2P_TX and _matchable(ev) \
+                    and ev.provenance in prov:
+                c[(ev.rank, ev.peer, ev.tag, ev.count)] += 1
+    return c
+
+
+def _coll_seq(traces: list[list[CommEvent]], prov: tuple) -> list[list]:
+    return [[_coll_key(ev) for ev in t
+             if ev.kind in COLLECTIVES and not ev.maybe
+             and ev.provenance in prov]
+            for t in traces]
+
+
+def _dual_collective(key: tuple) -> tuple:
+    """Fig. 5 / §IV-B collective duals."""
+    kind, red_op, count, root = key
+    if kind == "allreduce":
+        return ("allreduce", "sum", count, None)
+    if kind == "bcast":
+        return ("reduce", "sum", count, root)
+    if kind == "reduce":
+        return ("bcast", None, count, root)
+    return key                                   # barrier is self-dual
+
+
+def _edge_str(edge: tuple) -> str:
+    s, d, t, c = edge
+    return f"rank{s}->rank{d} tag={t} count={c}"
+
+
+def _counter_diff(want: Counter, got: Counter) -> str:
+    missing = want - got
+    extra = got - want
+    bits = []
+    if missing:
+        bits.append("missing " + ", ".join(
+            _edge_str(e) for e in sorted(missing, key=repr)))
+    if extra:
+        bits.append("unexpected " + ", ".join(
+            _edge_str(e) for e in sorted(extra, key=repr)))
+    return "; ".join(bits)
+
+
+def duality_diagnostics(primal_traces: list[list[CommEvent]],
+                        grad_traces: list[list[CommEvent]],
+                        sink: DiagSink, nprocs: int) -> None:
+    """Check that the gradient's communication is the primal's clone
+    (forward sweep) plus its exact transpose (adjoint sweep)."""
+    prim = _p2p_edges(primal_traces, ("primal",))
+    fwd = _p2p_edges(grad_traces, ("forward",))
+    if prim != fwd:
+        sink.add(ERROR, "forward-clone-divergence",
+                 f"augmented forward pass does not replay the primal's "
+                 f"point-to-point edges at P={nprocs}: "
+                 f"{_counter_diff(prim, fwd)}")
+
+    adj = _p2p_edges(grad_traces, ("adjoint",))
+    want = Counter()
+    for (s, d, t, c), k in prim.items():
+        want[(d, s, t, c)] = k
+    if adj != want:
+        sink.add(ERROR, "duality-p2p",
+                 f"adjoint point-to-point graph is not the transpose of "
+                 f"the primal's at P={nprocs}: {_counter_diff(want, adj)}")
+
+    prim_c = _coll_seq(primal_traces, ("primal",))
+    fwd_c = _coll_seq(grad_traces, ("forward",))
+    for r, (a, b) in enumerate(zip(prim_c, fwd_c)):
+        if a != b:
+            sink.add(ERROR, "forward-clone-divergence",
+                     f"augmented forward pass of rank{r} does not replay "
+                     f"the primal collective sequence at P={nprocs}: "
+                     f"primal {a} vs forward {b}")
+            break
+    adj_c = _coll_seq(grad_traces, ("adjoint",))
+    for r, (a, b) in enumerate(zip(prim_c, adj_c)):
+        expect = [_dual_collective(k) for k in reversed(a)]
+        if expect != b:
+            sink.add(ERROR, "duality-collective",
+                     f"adjoint collective sequence of rank{r} is not the "
+                     f"reversed dual of the primal's at P={nprocs}: "
+                     f"expected {expect}, got {b}")
+            break
+
+
+def render_summary(summary: list[dict]) -> str:
+    """Human-readable symbolic endpoint table."""
+    if not summary:
+        return "(no communication)"
+    cols = ("kind", "peer", "tag", "count", "guard", "op")
+    widths = {c: max(len(c), *(len(str(row.get(c, ""))) for row in summary))
+              for c in cols}
+    lines = ["  ".join(c.ljust(widths[c]) for c in cols)]
+    for row in summary:
+        lines.append("  ".join(
+            str(row.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "COLLECTIVES", "P2P_RX", "P2P_TX",
+    "CommEvent", "DiagSink",
+    "check_collectives", "check_p2p", "check_request_lifetime",
+    "duality_diagnostics", "render_summary", "simulate_rendezvous",
+]

@@ -111,29 +111,84 @@ def render_backend_report(payload: dict) -> str:
                         [[r.get(c) for c in cols] for r in rows])
 
 
+def render_comm_report(payload: dict) -> str:
+    """Render commcheck JSON (one report or an mpi_lint suite)."""
+    tool = payload.get("tool")
+    if tool == "commcheck-suite":
+        return "\n".join(render_comm_report(r)
+                         for r in payload.get("reports", []))
+    if tool != "commcheck":
+        raise ValueError(f"not a commcheck report (tool={tool!r}); "
+                         f"expected CommReport.to_json() or mpi_lint "
+                         f"--out output")
+    counts = payload.get("counts", {})
+    sizes = ",".join(str(p) for p in payload.get("sizes", []))
+    title = (f"commcheck{' duality' if payload.get('duality') else ''} "
+             f"@{payload.get('fn', '?')} (P={sizes}): "
+             f"{counts.get('error', 0)} error(s), "
+             f"{counts.get('warn', 0)} warning(s)")
+    if not payload.get("checked", True):
+        return f"== {title} ==\nno MPI communication\n"
+    rows = [{"severity": d["severity"], "code": d["code"],
+             "op": d["op"], "message": d["message"]}
+            for d in payload.get("diagnostics", [])]
+    if rows:
+        cols = list(rows[0].keys())
+        text = format_table(title, cols,
+                            [[r.get(c) for c in cols] for r in rows])
+    else:
+        text = f"== {title} ==\nclean\n"
+    summary = payload.get("summary", [])
+    if summary:
+        cols = list(summary[0].keys())
+        text += format_table("symbolic communication summary", cols,
+                             [[r.get(c) for c in cols] for r in summary])
+    return text
+
+
+#: dest -> (renderer, help) for the report-file options shared by the
+#: sanitizer, backend-bench, and commcheck render paths.
+_REPORT_KINDS = {
+    "sanitize_report": (render_sanitize_report,
+                        "render a sanitizer JSON report (lint or "
+                        "racecheck output) instead of benchmark "
+                        "results; repeatable"),
+    "backend_report": (render_backend_report,
+                       "render a bench_backend JSON report "
+                       "(BENCH_backend.json); repeatable"),
+    "comm_report": (render_comm_report,
+                    "render a commcheck JSON report (CommReport or "
+                    "mpi_lint --out output); repeatable"),
+}
+
+
+def _add_report_args(ap: argparse.ArgumentParser) -> None:
+    for dest, (_, help_text) in _REPORT_KINDS.items():
+        ap.add_argument("--" + dest.replace("_", "-"), metavar="FILE",
+                        action="append", type=pathlib.Path, default=[],
+                        help=help_text)
+
+
+def _render_report_args(args: argparse.Namespace) -> bool:
+    """Render any requested report files; True if any were given."""
+    rendered = False
+    for dest, (renderer, _) in _REPORT_KINDS.items():
+        for path in getattr(args, dest):
+            with open(path) as f:
+                print(renderer(json.load(f)))
+            rendered = True
+    return rendered
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--results", type=pathlib.Path, default=DEFAULT_DIR)
     ap.add_argument("--no-plots", action="store_true")
-    ap.add_argument("--sanitize-report", metavar="FILE", action="append",
-                    type=pathlib.Path, default=[],
-                    help="render a sanitizer JSON report (lint or "
-                         "racecheck output) instead of benchmark results; "
-                         "repeatable")
-    ap.add_argument("--backend-report", metavar="FILE", action="append",
-                    type=pathlib.Path, default=[],
-                    help="render a bench_backend JSON report "
-                         "(BENCH_backend.json); repeatable")
+    _add_report_args(ap)
     ap.add_argument("names", nargs="*",
                     help="result names to show (default: all)")
     args = ap.parse_args(argv)
-    if args.sanitize_report or args.backend_report:
-        for path in args.sanitize_report:
-            with open(path) as f:
-                print(render_sanitize_report(json.load(f)))
-        for path in args.backend_report:
-            with open(path) as f:
-                print(render_backend_report(json.load(f)))
+    if _render_report_args(args):
         return 0
     data = load(args.results)
     if not data:

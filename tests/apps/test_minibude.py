@@ -100,3 +100,34 @@ def test_openmp_opt_reduces_cache_traffic():
         _sh, g = app.run_gradient(num_threads=2)
         traffic[opt] = g.cost.stream_bytes
     assert traffic[True] < 0.25 * traffic[False]
+
+
+# ---------------------------------------------------------------------------
+# MPI variant (ISSUE 5): bcast poses, block-partition, allreduce energies
+# ---------------------------------------------------------------------------
+
+def test_mpi_forward_matches_reference():
+    app = MinibudeApp("mpi", DECK, nprocs=4)
+    res = app.run_forward()
+    np.testing.assert_allclose(res.energies, run_reference(DECK),
+                               rtol=1e-10)
+
+
+def test_mpi_forward_uneven_partition():
+    # 16 poses over 3 ranks: the last rank's block is clamped.
+    app = MinibudeApp("mpi", DECK, nprocs=3)
+    res = app.run_forward()
+    np.testing.assert_allclose(res.energies, run_reference(DECK),
+                               rtol=1e-10)
+
+
+def test_mpi_gradient_matches_serial():
+    serial, _ = MinibudeApp("serial", DECK).run_gradient()
+    mpi, _ = MinibudeApp("mpi", DECK, nprocs=4).run_gradient()
+    np.testing.assert_allclose(mpi["poses"], serial["poses"], rtol=1e-10)
+
+
+def test_mpi_gradient_projection():
+    app = MinibudeApp("mpi", DECK, nprocs=2)
+    rev, fd = app.projection_check()
+    assert rev == pytest.approx(fd, rel=1e-4)

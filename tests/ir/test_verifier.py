@@ -122,3 +122,63 @@ def test_condition_must_terminate_while():
             b.store(1.0, x, 0)  # op after condition
     with pytest.raises(VerificationError, match="condition"):
         verify_module(b.module)
+
+
+# ---------------------------------------------------------------------------
+# Request-typed value flow (ISSUE 5: verifier hygiene for mpi requests)
+# ---------------------------------------------------------------------------
+
+def _parse_and_verify(text):
+    from repro.ir.parser import parse_module
+    verify_module(parse_module(text))
+
+
+def test_request_flow_clean_isend_wait():
+    _parse_and_verify(
+        "func @f(%buf: ptr<f64>, %n: i64) -> void {\n"
+        "  %0 = call @mpi.isend(%buf, %n, 0, 1)\n"
+        "  call @mpi.wait(%0)\n"
+        "  return\n"
+        "}\n")
+
+
+def test_request_as_count_rejected():
+    with pytest.raises(VerificationError, match="request-typed operand"):
+        _parse_and_verify(
+            "func @f(%buf: ptr<f64>, %n: i64) -> void {\n"
+            "  %0 = call @mpi.isend(%buf, %n, 0, 1)\n"
+            "  call @mpi.send(%buf, %0, 1, 5)\n"
+            "  return\n"
+            "}\n")
+
+
+def test_int_into_wait_rejected():
+    with pytest.raises(VerificationError, match="must be a request"):
+        _parse_and_verify(
+            "func @f(%buf: ptr<f64>, %n: i64) -> void {\n"
+            "  call @mpi.wait(%n)\n"
+            "  return\n"
+            "}\n")
+
+
+def test_request_into_pointer_arithmetic_rejected():
+    from repro.ir.ops import PtrAddOp
+    b = IRBuilder()
+    with b.function("f", [("buf", Ptr()), ("n", I64)]) as f:
+        buf, n = f.args
+        r = b.call("mpi.isend", buf, n, 0, 1)
+        b.block.append(PtrAddOp(r, n))
+        b.call("mpi.wait", r)
+    with pytest.raises(VerificationError, match="request-typed value"):
+        verify_module(b.module)
+
+
+def test_request_store_into_request_array_allowed():
+    from repro.ir import Request
+    b = IRBuilder()
+    with b.function("f", [("buf", Ptr()), ("n", I64)]) as f:
+        buf, n = f.args
+        reqs = b.alloc(1, Request)
+        b.store(b.call("mpi.isend", buf, n, 0, 1), reqs, 0)
+        b.call("mpi.wait", b.load(reqs, 0))
+    verify_module(b.module)

@@ -207,3 +207,95 @@ def test_barrier_synchronizes_clocks():
     c0 = engine.ranks[0].interp.clock
     c1 = engine.ranks[1].interp.clock
     assert c0 == pytest.approx(c1)
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous-mode sends (ISSUE 5)
+# ---------------------------------------------------------------------------
+
+def _module_headtohead():
+    """Both ranks Send before they Recv: safe eagerly, deadlocks in
+    rendezvous mode — the textbook unsafe exchange."""
+    b = IRBuilder()
+    with b.function("hh", [("buf", Ptr()), ("out", Ptr()), ("n", I64)]) as f:
+        buf, out, n = f.args
+        rank = b.call("mpi.comm_rank")
+        peer = b.sub(1, rank)
+        b.call("mpi.send", buf, n, peer, 1)
+        b.call("mpi.recv", out, n, peer, 1)
+    verify_module(b.module)
+    return b
+
+
+def test_head_to_head_passes_eagerly():
+    b = _module_headtohead()
+    n = 3
+    args = [(np.full(n, float(r + 1)), np.zeros(n), n) for r in range(2)]
+    SimMPI(b.module, 2, ExecConfig()).run("hh", lambda r: args[r])
+    np.testing.assert_allclose(args[0][1], 2.0)
+    np.testing.assert_allclose(args[1][1], 1.0)
+
+
+def test_head_to_head_deadlocks_in_rendezvous_mode():
+    b = _module_headtohead()
+    n = 3
+    args = [(np.full(n, float(r + 1)), np.zeros(n), n) for r in range(2)]
+    with pytest.raises(InterpreterError, match="deadlock"):
+        SimMPI(b.module, 2, ExecConfig(),
+               rendezvous_sends=True).run("hh", lambda r: args[r])
+
+
+def test_eager_limit_triggers_rendezvous_for_large_messages():
+    from repro.perf.machine import MachineModel
+    b = _module_headtohead()
+
+    def run(n):
+        machine = MachineModel(eager_limit=64)  # bytes: 8 doubles
+        args = [(np.full(n, 1.0), np.zeros(n), n) for r in range(2)]
+        SimMPI(b.module, 2, ExecConfig(), machine=machine).run(
+            "hh", lambda r: args[r])
+
+    run(8)      # 64 bytes: still eager, completes
+    with pytest.raises(InterpreterError, match="deadlock"):
+        run(9)  # 72 bytes > eager_limit: rendezvous, deadlocks
+
+
+def test_ordered_exchange_completes_in_rendezvous_mode():
+    b = IRBuilder()
+    with b.function("ord", [("buf", Ptr()), ("out", Ptr()), ("n", I64)]) as f:
+        buf, out, n = f.args
+        rank = b.call("mpi.comm_rank")
+        peer = b.sub(1, rank)
+        with b.if_(b.cmp("eq", rank, 0)):
+            b.call("mpi.send", buf, n, peer, 1)
+            b.call("mpi.recv", out, n, peer, 2)
+        with b.else_():
+            b.call("mpi.recv", out, n, peer, 1)
+            b.call("mpi.send", buf, n, peer, 2)
+    n = 4
+    args = [(np.full(n, float(r + 1)), np.zeros(n), n) for r in range(2)]
+    SimMPI(b.module, 2, ExecConfig(),
+           rendezvous_sends=True).run("ord", lambda r: args[r])
+    np.testing.assert_allclose(args[0][1], 2.0)
+    np.testing.assert_allclose(args[1][1], 1.0)
+
+
+def test_rendezvous_isend_overlap_still_works():
+    """Nonblocking sends stay legal under rendezvous: the wait blocks
+    until the receiver arrives, not the post."""
+    b = IRBuilder()
+    with b.function("nb", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        rank = b.call("mpi.comm_rank")
+        size = b.call("mpi.comm_size")
+        tmp = b.alloc(n)
+        r1 = b.call("mpi.isend", x, n, (rank + 1) % size, 1)
+        r2 = b.call("mpi.irecv", tmp, n, (rank + size - 1) % size, 1)
+        b.call("mpi.wait", r1)
+        b.call("mpi.wait", r2)
+        b.memcpy(x, tmp, n)
+    xs = [np.full(3, float(r)) for r in range(3)]
+    SimMPI(b.module, 3, ExecConfig(),
+           rendezvous_sends=True).run("nb", lambda r: (xs[r], 3))
+    np.testing.assert_allclose(xs[0], 2.0)
+    np.testing.assert_allclose(xs[1], 0.0)
