@@ -210,7 +210,19 @@ class CachePlanner:
     def build(self) -> CachePlan:
         needed = self._collect_needed()
         closure = self._close(needed)
-        self._classify(closure, needed)
+        # Values hash by object identity, so iterating these sets
+        # directly would vary from process to process and leak into
+        # slot numbering (and from there into the generated gradient
+        # IR, defeating any source-keyed compile cache).  Iterate in
+        # program order instead.
+        order: dict = {}
+        for i, op in enumerate(self.fn.walk()):
+            if op.result is not None:
+                order[op.result] = i
+        rank = order.get
+        fallback = len(order)
+        self._classify(sorted(closure, key=lambda v: rank(v, fallback)),
+                       sorted(needed, key=lambda v: rank(v, fallback)))
         self._assign_slots()
         self.plan.stats = {
             "needed": len(needed),
@@ -501,8 +513,10 @@ class CachePlanner:
             return 16.0
         return float(self.nominal_extent)
 
-    def _classify(self, closure: set[Value], needed: set[Value]) -> None:
+    def _classify(self, closure: list[Value], needed: list[Value]) -> None:
+        """``closure`` and ``needed`` come in program order (see build)."""
         res = self.plan.resolution
+        in_closure = set(closure)
         for v in closure:
             res[v] = "recompute"  # refined below
 
@@ -541,7 +555,7 @@ class CachePlanner:
                     if not self._is_free(d):
                         G.add_edge(v_out(d), v_in(v), capacity=INF)
         for v in needed:
-            if v in closure:
+            if v in in_closure:
                 G.add_edge(v_out(v), SINK, capacity=INF)
 
         if SOURCE in G and SINK in G and nx.has_path(G, SOURCE, SINK):

@@ -64,7 +64,9 @@ class LuleshApp:
                  params: LuleshParams = DEFAULT_PARAMS,
                  ad_config: Optional[ADConfig] = None,
                  machine: Optional[MachineModel] = None,
-                 sanitize: bool = False, backend: str = "interp") -> None:
+                 sanitize: bool = False, backend: str = "interp",
+                 fusion: bool = True,
+                 compile_cache: Optional[str] = None) -> None:
         if flavor not in FLAVORS:
             raise ValueError(f"unknown flavor {flavor!r}; "
                              f"choose from {sorted(FLAVORS)}")
@@ -81,6 +83,12 @@ class LuleshApp:
         self.sanitize = sanitize
         #: "interp" or "compiled" (see ExecConfig.backend).
         self.backend = backend
+        #: Trace fusion / persistent compile cache (compiled backend).
+        self.fusion = fusion
+        self.compile_cache = compile_cache
+        #: Backend counters from the most recent single-rank run
+        #: (None for MPI flavors or the interp backend).
+        self.last_compile_stats: Optional[dict] = None
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -114,7 +122,8 @@ class LuleshApp:
         impl = "mpich" if self.flavor.style == "julia" else "openmpi"
         return ExecConfig(num_threads=num_threads, machine=self.machine,
                           mpi_impl=impl, sanitize=self.sanitize,
-                          backend=self.backend)
+                          backend=self.backend, fusion=self.fusion,
+                          compile_cache=self.compile_cache)
 
     # ------------------------------------------------------------------
     def run_forward(self, domains: list[Domain], steps: int,
@@ -127,6 +136,7 @@ class LuleshApp:
             return RunResult(res.time, res.clocks, res.total_cost)
         ex = Executor(self.module, self._config(num_threads))
         ex.run(self.fn, *domain_args(domains[0], steps))
+        self.last_compile_stats = ex.compile_stats()
         return RunResult(ex.clock, [ex.clock], ex.cost)
 
     def run_gradient(self, domains: list[Domain], steps: int,
@@ -145,6 +155,7 @@ class LuleshApp:
             return RunResult(res.time, res.clocks, res.total_cost)
         ex = Executor(self.module, self._config(num_threads))
         ex.run(grad, *domain_args(domains[0], steps, shadows[0]))
+        self.last_compile_stats = ex.compile_stats()
         return RunResult(ex.clock, [ex.clock], ex.cost)
 
     # ------------------------------------------------------------------

@@ -30,6 +30,8 @@ class MinibudeApp:
                  ad_config: Optional[ADConfig] = None,
                  machine: Optional[MachineModel] = None,
                  sanitize: bool = False, backend: str = "interp",
+                 fusion: bool = True,
+                 compile_cache: Optional[str] = None,
                  nprocs: int = 4) -> None:
         self.variant = variant
         self.deck = deck or make_deck()
@@ -46,6 +48,12 @@ class MinibudeApp:
         self.sanitize = sanitize
         #: "interp" or "compiled" (see ExecConfig.backend).
         self.backend = backend
+        #: Trace fusion / persistent compile cache (compiled backend).
+        self.fusion = fusion
+        self.compile_cache = compile_cache
+        #: Backend counters from the most recent single-rank run
+        #: (None for the mpi variant or the interp backend).
+        self.last_compile_stats: Optional[dict] = None
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -58,7 +66,9 @@ class MinibudeApp:
 
     def _config(self, num_threads: int) -> ExecConfig:
         return ExecConfig(num_threads=num_threads, machine=self.machine,
-                          sanitize=self.sanitize, backend=self.backend)
+                          sanitize=self.sanitize, backend=self.backend,
+                          fusion=self.fusion,
+                          compile_cache=self.compile_cache)
 
     def _args(self) -> tuple[dict, tuple]:
         flat = self.deck.flat_args()
@@ -87,6 +97,7 @@ class MinibudeApp:
         flat, args = self._args()
         ex = Executor(self.module, self._config(num_threads))
         ex.run(self.fn, *args)
+        self.last_compile_stats = ex.compile_stats()
         return BudeResult(flat["energies"], ex.clock, ex.cost)
 
     def run_gradient(self, num_threads: int = 1,
@@ -122,6 +133,7 @@ class MinibudeApp:
             grad_args += [flat[n], shadows[n]]
         ex = Executor(self.module, self._config(num_threads))
         ex.run(self.grad_fn(), *grad_args)
+        self.last_compile_stats = ex.compile_stats()
         return shadows, BudeResult(flat["energies"], ex.clock, ex.cost)
 
     def run_codipack_gradient(self) -> tuple[np.ndarray, BudeResult]:

@@ -7,8 +7,10 @@ events for MPI and thread barriers so the simulated runtimes in
 """
 
 from .compile import CompiledBackend, compile_function
+from .diskcache import CompileCache, config_fingerprint, resolve_cache_dir
 from .events import BarrierEvent, Event, MPIEvent
 from .executor import Executor, run_function
+from .fusion import FusionStats
 from .interpreter import ExecConfig, Interpreter, TaskScheduler, chunk_bounds
 from .lowering import Lowerer, LoweringError, lower_function
 from .memory import (
@@ -26,6 +28,8 @@ __all__ = [
     "Executor", "run_function",
     "ExecConfig", "Interpreter", "TaskScheduler", "chunk_bounds",
     "CompiledBackend", "compile_function",
+    "CompileCache", "config_fingerprint", "resolve_cache_dir",
+    "FusionStats",
     "Lowerer", "LoweringError", "lower_function",
     "Buffer", "DynCache", "InterpreterError", "Memory", "PtrVal",
     "TaskVal", "TokenVal",

@@ -12,11 +12,30 @@ a compiled callee can hand any individual op back to the interpreter
 resume, with bit-identical results and timings.
 
 The runtime helpers in this module are the out-of-line parts of the
-generated code: memory access with interpreter-exact cost accounting
-(``_ld``/``_st``/``_at``), privatizing allocation (``_al``), segment
-cost accumulation (``_acc``), the fork-region phase driver (``_rf``),
-call dispatch (``_ca``/``_cu``) and the op-by-op interpreter bridge
-(``_bg``).
+generated code.  Memory access comes in three statically-selected
+flavors (the lowering knows mask state and index monotonicity at
+codegen time — see :mod:`repro.interp.fusion`):
+
+* ``_ld``/``_st``/``_at`` — statically-unmasked generics (no mask
+  handling at all, plus scalar fast paths and a sequential-fold atomic
+  fast path);
+* ``_ldm``/``_stm`` — unmasked monotone-index vector access: endpoint
+  bounds checks instead of ``O(width)`` min/max reductions, and slice
+  copies instead of gather/scatter when a strictly-monotone index is
+  contiguous at runtime;
+* ``_ldk``/``_stk``/``_atk`` — masked generics used inside lowered
+  vectorized-``if`` branches, consulting ``rt.mask`` exactly like the
+  interpreter.
+
+Plus privatizing allocation (``_al``), segment cost accumulation
+(``_acc``), the fork-region phase driver (``_rf``), call dispatch
+(``_ca``/``_cu``) and the op-by-op interpreter bridge (``_bg``).
+
+Compilation itself is two-level cached: in-process on the Function
+object (fingerprint-checked, since ExecConfig.fusion changes codegen),
+and optionally on disk (:mod:`repro.interp.diskcache`) keyed on the
+lowered source + config fingerprint so warm processes skip CPython's
+``compile()`` for large adjoint functions.
 
 Fallback contract (who runs what):
 
@@ -35,13 +54,26 @@ import numpy as np
 from ..ir.function import Function
 from ..ir.types import F64
 from ..perf.cost import CostVector
+from .diskcache import config_fingerprint, open_cache
 from .events import BarrierEvent
+from .fusion import FusionStats
 from .interpreter import Interpreter, chunk_bounds
 from .memory import DynCache, InterpreterError, Memory, PtrVal
 from .lowering import LoweringError, lower_function
 
-#: Cache attribute stashed on Function objects (they have no __slots__).
+#: Cache attributes stashed on Function objects (they have no
+#: __slots__).  ``_compiled_code`` holds the generator function (False
+#: = interpreter-only); ``_compiled_key`` the (fusion, fingerprint)
+#: pair it was built under, so a config change recompiles.
 _CACHE_ATTR = "_compiled_code"
+_CACHE_KEY_ATTR = "_compiled_key"
+
+#: Bounds checks on int64 index vectors use a zero-copy uint64 view:
+#: negative indexes wrap to huge values, so a single max-reduction
+#: catches both underflow and overflow (the interpreter does two).
+_I8 = np.dtype(np.int64)
+_U8 = np.dtype(np.uint64)
+_umax = np.maximum.reduce
 
 
 # ---------------------------------------------------------------------------
@@ -67,13 +99,14 @@ def _aw(rt, cost_class, res):
 
 
 def _ld(rt, ptr, idx):
-    """Load with interpreter-exact masking and cost accounting.
+    """Statically-unmasked load with interpreter-exact cost accounting.
 
     The scalar case (adjoint reverse loops run element-by-element) is
     inlined here: check-alive, bounds check, one element, 8 bytes —
     the same observable effects as ``Memory.load`` without the call
-    chain.  A mask never changes a scalar load (the interpreter only
-    neutralizes array indices), so ``rt.mask`` need not be consulted.
+    chain.  The lowering only emits ``_ld`` where ``rt.mask`` is
+    statically None (masked branches use ``_ldk``), so no mask handling
+    appears at all.
     """
     if not isinstance(idx, np.ndarray) and not isinstance(
             ptr.offset, np.ndarray):
@@ -90,6 +123,70 @@ def _ld(rt, ptr, idx):
         else:
             c.load_bytes += 8
         return data[at]
+    # Vector gather, inlined from Memory.load (no mask statically).
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    off = ptr.offset
+    # Skip the index-vector add (an O(width) allocation) at offset 0.
+    at = idx if type(off) is int and not off else off + idx
+    data = buf.data
+    if at.size:
+        if at.dtype is _I8:
+            if int(_umax(at.view(_U8))) >= len(data):
+                Memory._check_bounds(buf, at)  # exact message
+        elif at.min() < 0 or at.max() >= len(data):
+            Memory._check_bounds(buf, at)
+    val = data[at]  # fancy gather (copies)
+    w = val.size if val.size > 1 else 1
+    c = rt.cost
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.load_bytes += w * 8
+    return val
+
+
+def _ldm(rt, ptr, idx, d):
+    """Unmasked vector load with a statically-monotone index.
+
+    ``d`` is the static monotonicity class of ``ptr.offset + idx``:
+    ±1 monotone non-strict, ±2 strictly monotone.  Bounds come from the
+    endpoint lanes (the extremes of any monotone vector); a strictly
+    monotone index whose endpoint span equals ``size - 1`` is
+    consecutive (pigeonhole), so the gather becomes a slice copy.
+    """
+    off = ptr.offset
+    at = idx if type(off) is int and not off else off + idx
+    if not isinstance(at, np.ndarray) or at.ndim != 1 or at.size == 0:
+        return _ld(rt, ptr, idx)
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    data = buf.data
+    n = at.size
+    if d > 0:
+        lo, hi = int(at[0]), int(at[n - 1])
+    else:
+        lo, hi = int(at[n - 1]), int(at[0])
+    if lo < 0 or hi >= len(data):
+        Memory._check_bounds(buf, at)  # raises with the exact message
+    if hi - lo == n - 1 and (d == 2 or d == -2):
+        sl = data[lo:hi + 1]
+        val = sl[::-1].copy() if d < 0 else sl.copy()
+    else:
+        val = data[at]  # fancy gather (copies)
+    c = rt.cost
+    w = n if n > 1 else 1
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.load_bytes += w * 8
+    return val
+
+
+def _ldk(rt, ptr, idx):
+    """Masked generic load (inside lowered vectorized-if branches)."""
     mask = rt.mask
     if mask is not None and isinstance(idx, np.ndarray):
         idx = np.where(mask, idx, 0)
@@ -103,8 +200,8 @@ def _ld(rt, ptr, idx):
 
 
 def _st(rt, val, ptr, idx):
-    if (rt.mask is None and not isinstance(idx, np.ndarray)
-            and not isinstance(val, np.ndarray)
+    """Statically-unmasked store (mask handling lives in ``_stk``)."""
+    if (not isinstance(idx, np.ndarray) and not isinstance(val, np.ndarray)
             and not isinstance(ptr.offset, np.ndarray)):
         buf = ptr.buffer
         if buf.freed:
@@ -120,6 +217,77 @@ def _st(rt, val, ptr, idx):
         else:
             c.store_bytes += 8
         return
+    # Vector scatter, inlined from Memory.store (no mask statically).
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    off = ptr.offset
+    at = idx if type(off) is int and not off else off + idx
+    data = buf.data
+    if isinstance(at, np.ndarray):
+        if at.size:
+            if at.dtype is _I8:
+                if int(_umax(at.view(_U8))) >= len(data):
+                    Memory._check_bounds(buf, at)
+            elif at.min() < 0 or at.max() >= len(data):
+                Memory._check_bounds(buf, at)
+    elif at < 0 or at >= len(data):
+        Memory._check_bounds(buf, at)
+    data[at] = val
+    wv = val.size if isinstance(val, np.ndarray) and val.size > 1 else 1
+    wi = idx.size if isinstance(idx, np.ndarray) and idx.size > 1 else 1
+    w = wv if wv > wi else wi
+    c = rt.cost
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.store_bytes += w * 8
+
+
+def _stm(rt, val, ptr, idx, d):
+    """Unmasked vector store with a statically-monotone index (see
+    ``_ldm``); a contiguous strictly-monotone scatter is a slice
+    assignment.  NumPy's last-wins fancy-assignment semantics are
+    preserved: duplicates only occur in the non-strict case, which
+    keeps the fancy path."""
+    off = ptr.offset
+    at = idx if type(off) is int and not off else off + idx
+    if not isinstance(at, np.ndarray) or at.ndim != 1 or at.size == 0:
+        _st(rt, val, ptr, idx)
+        return
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    data = buf.data
+    n = at.size
+    if d > 0:
+        lo, hi = int(at[0]), int(at[n - 1])
+    else:
+        lo, hi = int(at[n - 1]), int(at[0])
+    if lo < 0 or hi >= len(data):
+        Memory._check_bounds(buf, at)
+    val_is_arr = isinstance(val, np.ndarray)
+    if (hi - lo == n - 1 and (d == 2 or d == -2)
+            and (not val_is_arr
+                 or (val.ndim == 1 and (val.size == n or val.size == 1)))):
+        if val_is_arr and val.size == n and n > 1 and d < 0:
+            data[lo:hi + 1] = val[::-1]
+        else:
+            data[lo:hi + 1] = val
+    else:
+        data[at] = val
+    c = rt.cost
+    wv = val.size if val_is_arr and val.size > 1 else 1
+    wi = idx.size if isinstance(idx, np.ndarray) and idx.size > 1 else 1
+    w = wv if wv > wi else wi
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.store_bytes += w * 8
+
+
+def _stk(rt, val, ptr, idx):
+    """Masked generic store."""
     mask = rt.mask
     if mask is not None and isinstance(idx, np.ndarray):
         idx = np.where(mask, idx, 0)
@@ -131,7 +299,93 @@ def _st(rt, val, ptr, idx):
         rt.cost.add_store(w * 8)
 
 
-def _at(rt, kind, via_reduction, val, ptr, idx):
+_AT_UFUNC = {"add": np.add, "min": np.minimum, "max": np.maximum}
+
+
+def _at(rt, kind, via_reduction, val, ptr, idx, d=0):
+    """Statically-unmasked atomic with fast paths for the two hot
+    shapes: a scalar target accumulating a lane vector (the adjoint of
+    a broadcast read) and a duplicate-free monotone scatter.
+
+    ``ufunc.at`` applies lanes *sequentially*; the scalar-target path
+    reproduces that exact left fold with ``ufunc.accumulate`` over
+    ``[current, lane0, lane1, ...]`` (bit-identical, including ordered
+    float addition and signed-zero/NaN min-max behavior).  ``d`` is the
+    static monotonicity class of the index (see the lowering): a
+    strictly monotone index vector is duplicate-free, so each cell gets
+    exactly one application and ``ufunc.at`` collapses to a vectorized
+    read-modify-write — no runtime probe needed.
+    """
+    off = ptr.offset
+    buf = ptr.buffer
+    if not isinstance(idx, np.ndarray) and not isinstance(off, np.ndarray):
+        if buf.freed:
+            buf.check_alive()
+        at = off + idx
+        data = buf.data
+        if at < 0 or at >= len(data):
+            Memory._check_bounds(buf, at)
+        ufunc = _AT_UFUNC[kind]
+        if isinstance(val, np.ndarray) and val.ndim > 0:
+            v = val if val.ndim == 1 else val.ravel()
+            data[at] = ufunc.accumulate(
+                np.concatenate((data[at:at + 1], v)))[-1]
+            w = val.size if val.size > 1 else 1
+        else:
+            data[at] = ufunc(data[at], val)
+            w = 1
+    else:
+        if buf.freed:
+            buf.check_alive()
+        at = idx if type(off) is int and not off else off + idx
+        data = buf.data
+        at_arr = at if isinstance(at, np.ndarray) else np.asarray(at)
+        val_arr = val if isinstance(val, np.ndarray) else np.asarray(val)
+        ufunc = _AT_UFUNC[kind]
+        if ((d == 2 or d == -2) and at_arr.ndim == 1 and at_arr.size
+                and (val_arr.ndim == 0 or val_arr.shape == at_arr.shape)):
+            n = at_arr.size
+            if d > 0:
+                lo, hi = int(at_arr[0]), int(at_arr[n - 1])
+            else:
+                lo, hi = int(at_arr[n - 1]), int(at_arr[0])
+            if lo < 0 or hi >= len(data):
+                Memory._check_bounds(buf, at_arr)
+            data[at_arr] = ufunc(data[at_arr], val_arr)
+        else:
+            if at_arr.ndim == 0:
+                a0 = int(at_arr)
+                if a0 < 0 or a0 >= len(data):
+                    Memory._check_bounds(buf, at_arr)
+            elif at_arr.size:
+                if at_arr.dtype is _I8:
+                    if int(_umax(at_arr.view(_U8))) >= len(data):
+                        Memory._check_bounds(buf, at_arr)
+                elif at_arr.min() < 0 or at_arr.max() >= len(data):
+                    Memory._check_bounds(buf, at_arr)
+            if at_arr.ndim == 0 and val_arr.ndim == 0:
+                data[int(at_arr)] = ufunc(data[int(at_arr)], val_arr)
+            elif at_arr.shape == val_arr.shape and at_arr.ndim == 1:
+                ufunc.at(data, at_arr, val_arr)
+            else:
+                shape = np.broadcast_shapes(at_arr.shape, val_arr.shape)
+                ufunc.at(data, np.broadcast_to(at_arr, shape).ravel(),
+                         np.broadcast_to(val_arr, shape).ravel())
+        wv = val.size if isinstance(val, np.ndarray) and val.size > 1 else 1
+        wi = idx.size if isinstance(idx, np.ndarray) and idx.size > 1 else 1
+        w = wv if wv > wi else wi
+    c = rt.cost
+    if via_reduction:
+        c.reduction_ops += w
+        c.store_bytes += w * 8
+    else:
+        c.atomic_ops += w
+        c.store_bytes += w * 8
+        c.load_bytes += w * 8
+
+
+def _atk(rt, kind, via_reduction, val, ptr, idx):
+    """Masked generic atomic."""
     mask = rt.mask
     if mask is not None and isinstance(idx, np.ndarray):
         idx = np.where(mask, idx, 0)
@@ -285,9 +539,11 @@ _HELPER_GLOBALS = {
     "CostVector": CostVector,
     "DynCache": DynCache,
     "PtrVal": PtrVal,
+    "Memory": Memory,
     "BarrierEvent": BarrierEvent,
     "chunk_bounds": chunk_bounds,
     "_acc": _acc, "_aw": _aw, "_ld": _ld, "_st": _st, "_at": _at,
+    "_ldm": _ldm, "_stm": _stm, "_ldk": _ldk, "_stk": _stk, "_atk": _atk,
     "_al": _al, "_ms": _ms, "_mc": _mc, "_bg": _bg, "_ca": _ca,
     "_cu": _cu, "_rf": _rf,
 }
@@ -297,20 +553,35 @@ _HELPER_GLOBALS = {
 # Compilation
 # ---------------------------------------------------------------------------
 
-def compile_function(fn: Function):
+def compile_function(fn: Function, fusion: bool = True, cache=None,
+                     fingerprint: str = ""):
     """Lower + compile ``fn``; returns a generator function
-    ``code(rt, *args)`` or raises :class:`LoweringError`."""
-    source, consts = lower_function(fn)
+    ``code(rt, *args)`` or raises :class:`LoweringError`.
+
+    ``cache`` is an optional :class:`~repro.interp.diskcache.
+    CompileCache`: lowering always runs (it rebuilds the constant
+    table deterministically), but the CPython ``compile()`` step is
+    skipped when the cache holds a code object for this exact lowered
+    source + ``fingerprint``.
+    """
+    source, consts, stats = lower_function(fn, fusion=fusion)
+    code_obj = cache.load(source, fingerprint) if cache is not None else None
+    if code_obj is None:
+        try:
+            code_obj = compile(source, f"<compiled {fn.name}>", "exec")
+        except SyntaxError as e:  # codegen bug — surface the source
+            raise LoweringError(
+                f"generated source for {fn.name} does not compile: {e}"
+            ) from e
+        if cache is not None:
+            cache.store(source, fingerprint, code_obj)
     globs = dict(_HELPER_GLOBALS)
     globs.update(consts)
-    try:
-        exec(compile(source, f"<compiled {fn.name}>", "exec"), globs)
-    except SyntaxError as e:  # codegen bug — surface the source
-        raise LoweringError(
-            f"generated source for {fn.name} does not compile: {e}") from e
+    exec(code_obj, globs)
     code = globs["_compiled"]
     code.__name__ = f"_compiled_{fn.name}"
     code.__lowered_source__ = source
+    code.__fusion_stats__ = stats
     return code
 
 
@@ -324,14 +595,23 @@ class CompiledBackend:
     def __init__(self, interp: Interpreter, strict: bool = False) -> None:
         self.rt = interp
         self.strict = strict
+        cfg = interp.config
+        self.fusion = bool(getattr(cfg, "fusion", True))
+        self.cache = open_cache(cfg)
+        self.fingerprint = config_fingerprint(cfg)
+        #: Functions compiled through this backend (for reporting).
+        self.compiled_functions: dict[str, FusionStats] = {}
 
     # -- compile cache -------------------------------------------------
     def get_compiled(self, fn: Function):
         """Compiled code for ``fn``, or None if it is interpreter-only."""
+        key = (self.fusion, self.fingerprint)
         cached = getattr(fn, _CACHE_ATTR, None)
-        if cached is None:
+        if cached is None or getattr(fn, _CACHE_KEY_ATTR, None) != key:
             try:
-                cached = compile_function(fn)
+                cached = compile_function(fn, fusion=self.fusion,
+                                          cache=self.cache,
+                                          fingerprint=self.fingerprint)
             except LoweringError as e:
                 if self.strict:
                     raise
@@ -343,7 +623,24 @@ class CompiledBackend:
                 cached = False
                 fn._compile_error = e
             setattr(fn, _CACHE_ATTR, cached)
+            setattr(fn, _CACHE_KEY_ATTR, key)
+        if cached:
+            # Register even when served from the per-function memo so
+            # compile_stats reflects every function this backend ran.
+            self.compiled_functions[fn.name] = cached.__fusion_stats__
         return cached or None
+
+    # -- reporting -----------------------------------------------------
+    def compile_stats(self) -> dict:
+        """Aggregated fusion + disk-cache counters for this backend."""
+        agg = FusionStats()
+        for st in self.compiled_functions.values():
+            for slot in FusionStats.__slots__:
+                setattr(agg, slot, getattr(agg, slot) + getattr(st, slot))
+        out = {"functions": len(self.compiled_functions),
+               "fusion": self.fusion, **agg.as_dict()}
+        out["cache"] = self.cache.stats() if self.cache is not None else None
+        return out
 
     # -- Interpreter.call_generator hook -------------------------------
     def call_generator(self, fn_name: str, args: list):

@@ -69,6 +69,15 @@ class Executor:
         rc = self.interp.racecheck
         return list(rc.reports) if rc is not None else []
 
+    def compile_stats(self) -> Optional[dict]:
+        """Fusion + compile-cache counters for the compiled backend.
+
+        None when running under the plain interpreter (or when the
+        sanitizer pinned it).
+        """
+        be = self.interp.backend
+        return be.compile_stats() if be is not None else None
+
     def reset_clock(self) -> None:
         self.interp.clock = 0.0
         from ..perf.cost import CostVector

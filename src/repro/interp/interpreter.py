@@ -87,6 +87,16 @@ class ExecConfig:
     #: runs always pin ``"interp"`` — the race checker needs to observe
     #: every individual access.
     backend: str = "interp"
+    #: Trace fusion in the compiled backend: collapse chains of
+    #: single-use elementwise ops into one generated kernel and use the
+    #: monotone-index memory fast paths (see :mod:`repro.interp.fusion`).
+    #: Execution is bit-identical either way; off is for A/B testing.
+    fusion: bool = True
+    #: Disk-persistent compile cache directory for the compiled
+    #: backend.  ``None`` defers to the ``REPRO_CACHE_DIR`` environment
+    #: variable (cache disabled when that is unset too); ``"off"``
+    #: force-disables; any other string is the cache directory.
+    compile_cache: Optional[str] = None
 
 
 def chunk_bounds(lb: int, ub: int, step: int, tid: int, nthreads: int

@@ -11,9 +11,20 @@ interpreter instance (``rt``) as shared runtime state:
   induction variable is bound to an ``np.arange`` index vector and
   elementwise ops become NumPy array kernels over the Executor's
   buffers;
+* chains of single-use elementwise ops are *fused* (see
+  :mod:`repro.interp.fusion`): instead of one generated statement (and
+  one materialized temporary) per op, a whole chain collapses into one
+  fused-kernel expression, often folded directly into the consuming
+  store — Dr.Jit-style trace fusion at the source level;
 * vectorized ``if`` regions run masked, with the mask published to
   ``rt.mask``/``rt.mask_count`` so memory helpers and interpreter
-  bridges see the exact interpreter state;
+  bridges see the exact interpreter state; the lowering tracks mask
+  state *statically*, so code outside masked branches uses memory
+  helpers with no mask handling at all;
+* loads/stores whose index vector is statically monotone (induction
+  vectors and affine combinations) use endpoint bounds checks and
+  slice-copy fast paths instead of ``O(width)`` reductions and
+  gather/scatter (helpers ``_ldm``/``_stm``);
 * instruction-cost accounting is aggregated statically: each
   straight-line segment contributes one ``_acc(...)`` call instead of
   one ``CostVector`` update per op, with per-lane counts scaled by the
@@ -29,7 +40,9 @@ IEEE-754 result is identical for the value types that can occur (float
 ``+``/``-``/``*`` and comparisons).  Division, min/max, pow and the
 transcendentals always go through the interpreter's own ufuncs —
 Python's operators differ observably there (``ZeroDivisionError``,
-NaN propagation, complex results).
+NaN propagation, complex results).  Fusion composes those exact
+expressions without reassociating anything, so fused and unfused
+execution are bit-identical too.
 
 This module is pure code generation; the runtime helpers the generated
 source calls live in :mod:`repro.interp.compile`.
@@ -41,6 +54,16 @@ from typing import Optional
 
 from ..ir.opinfo import OP_INFO
 from ..ir.values import Constant, Value
+from .fusion import (
+    FUSE_CHAR_CAP,
+    FUSE_OP_CAP,
+    ExprFuser,
+    count_uses,
+    mono_add,
+    mono_neg,
+    mono_relax,
+    mono_scale,
+)
 
 
 class LoweringError(Exception):
@@ -70,6 +93,18 @@ _CMP_TEMPLATES = {
 #: order.  COST_FREE contributes nothing (matches CostVector.add_class).
 _ACC_CLASSES = ("flop", "div", "special", "int")
 
+#: Opcodes whose monotonicity can be derived from their operands (the
+#: index-arithmetic algebra; see repro.interp.fusion).
+_MONO_ADD_OPS = {"add", "iadd"}
+_MONO_SUB_OPS = {"sub", "isub"}
+_MONO_MUL_OPS = {"mul", "imul"}
+_MONO_NEG_OPS = {"neg", "ineg"}
+_MONO_KEEP_OPS = {"itof", "ftoi"}
+_MONO_CLAMP_OPS = {"min", "max", "imin", "imax"}
+#: Exact integer arithmetic preserves *strict* monotonicity; everything
+#: else (float rounding, ftoi, clamps) demotes to non-strict.
+_MONO_STRICT_OPS = {"iadd", "isub", "ineg", "imul"}
+
 
 def free_values(op) -> list:
     """SSA values used inside ``op`` (or its regions) but defined outside.
@@ -96,11 +131,19 @@ def _literal(c: Constant) -> str:
     return repr(c.value)
 
 
+def _const_sign(v) -> Optional[int]:
+    """Sign of a numeric Constant, or None for non-constants."""
+    if type(v) is Constant and isinstance(v.value, (int, float)):
+        return (v.value > 0) - (v.value < 0)
+    return None
+
+
 class Lowerer:
     """Lower one IR function to Python generator-function source."""
 
-    def __init__(self, fn) -> None:
+    def __init__(self, fn, fusion: bool = True) -> None:
         self.fn = fn
+        self.fusion = fusion
         self.lines: list[str] = []
         self._ind = 0
         self._n = 0
@@ -109,15 +152,30 @@ class Lowerer:
         #: Value -> True (lane-varying) / False (uniform) / None (only
         #: decidable at runtime; cost falls back to rt._width).
         self.vary: dict[Value, Optional[bool]] = {}
+        #: Value -> monotonicity class of lane-varying values (see
+        #: repro.interp.fusion): +1 / -1 monotone, None unknown.
+        self.mono: dict[Value, Optional[int]] = {}
         #: Objects the generated code references by global name.
         self.consts: dict[str, object] = {}
         self._const_ids: dict[int, str] = {}
         #: Static vectorization depth (0 = scalar context).
         self.depth = 0
+        #: Statically inside a masked (vectorized-if) branch: memory
+        #: helpers must consult rt.mask.  Outside, rt.mask is None by
+        #: the caller guards in compile._cu / CompiledBackend.
+        self.masked = False
         #: Expression for the current per-lane width ("1" when scalar).
         self.wexpr = "1"
+        #: Loop-nesting depth (any flavor).  Inside loops, statically
+        #: scalar memory accesses are open-coded instead of calling the
+        #: ``_ld``/``_st`` helpers: the call overhead itself dominates
+        #: element-by-element adjoint sweeps.
+        self.loops = 0
         #: Pending straight-line cost: class -> [uniform, varying] counts.
         self._seg: dict[str, list[int]] = {}
+        #: Trace fusion state (pending single-use expressions).
+        self.fuser = ExprFuser(self)
+        self.uses = count_uses(fn) if fusion else {}
 
     # -- source emission helpers ---------------------------------------
     def emit(self, line: str = "") -> None:
@@ -136,23 +194,55 @@ class Lowerer:
         return name
 
     def ref(self, v: Value) -> str:
+        """Expression for ``v`` — a pending fused expression (consumed)
+        or its local name.  Use only where the result appears exactly
+        once in the emitted text."""
         if type(v) is Constant:
             return _literal(v)
+        ent = self.fuser.take(v)
+        if ent is not None:
+            return ent[0]
         try:
             return self.names[v]
         except KeyError:
             raise LoweringError(f"use of value {v!r} before definition")
 
-    def bind(self, v: Value, varying: Optional[bool]) -> str:
+    def ref_local(self, v: Value) -> str:
+        """Like :meth:`ref` but guarantees a local name (materializes a
+        pending expression), for templates that repeat the operand."""
+        if type(v) is Constant:
+            return _literal(v)
+        name = self.fuser.materialize(v)
+        if name is not None:
+            return name
+        try:
+            return self.names[v]
+        except KeyError:
+            raise LoweringError(f"use of value {v!r} before definition")
+
+    def bind(self, v: Value, varying: Optional[bool],
+             mono: Optional[int] = None) -> str:
         name = self.fresh("v")
         self.names[v] = name
         self.vary[v] = varying
+        if mono is not None:
+            self.mono[v] = mono
         return name
 
     def vary_of(self, v: Value) -> Optional[bool]:
         if type(v) is Constant:
             return False
         return self.vary.get(v, False)
+
+    def mono_of(self, v: Value) -> Optional[int]:
+        """Monotonicity class of ``v``: 0 for uniform values, +1/-1 for
+        monotone index vectors, None when unknown."""
+        vr = self.vary_of(v)
+        if vr is False:
+            return 0
+        if vr is None:
+            return None
+        return self.mono.get(v)
 
     def _join_vary(self, operands) -> Optional[bool]:
         out: Optional[bool] = False
@@ -186,9 +276,15 @@ class Lowerer:
         if any(a != "0" for a in args):
             self.emit(f"_acc(rt, {', '.join(args)})")
 
+    def flush_all(self) -> None:
+        """Materialize pending fused expressions and flush the cost
+        segment — called at every control-flow boundary."""
+        self.fuser.flush()
+        self.flush_seg()
+
     # ------------------------------------------------------------------
-    def build(self) -> tuple[str, dict]:
-        """Return ``(source, consts)`` for this function."""
+    def build(self) -> tuple[str, dict, "FusionStats"]:
+        """Return ``(source, consts, fusion_stats)`` for this function."""
         fn = self.fn
         arg_names = [self.bind(a, False) for a in fn.args]
         head = f"def _compiled(rt{''.join(', ' + a for a in arg_names)}):"
@@ -198,28 +294,36 @@ class Lowerer:
         self.emit("    yield")
         body_start = len(self.lines)
         self.lower_block(fn.body, top_level=True)
-        self.flush_seg()
+        self.flush_all()
         if len(self.lines) == body_start:
             self.emit("pass")
-        return "\n".join(self.lines) + "\n", self.consts
+        stats = self.fuser.stats
+        stats.fused_ops = max(0, stats.ops - stats.kernels)
+        return "\n".join(self.lines) + "\n", self.consts, stats
 
     # ------------------------------------------------------------------
     def lower_block(self, block, top_level: bool = False) -> None:
+        # Invariant: entered with no pending fused expressions (every
+        # region lowerer calls flush_all before emitting its header).
         start = len(self.lines)
         for op in block.ops:
             if op.opcode == "return":
-                self.flush_seg()
                 if top_level:
                     val = self.ref(op.operands[0]) if op.operands else "None"
+                    self.fuser.pending.clear()  # dead beyond the return
+                    self.flush_seg()
                     self.emit(f"return {val}")
-                elif len(self.lines) == start:
-                    self.emit("pass")
+                else:
+                    self.fuser.pending.clear()
+                    self.flush_seg()
+                    if len(self.lines) == start:
+                        self.emit("pass")
                 # A nested return just ends this block in the
                 # interpreter (region executors discard the signal), so
                 # the remaining ops of the block are dead either way.
                 return
             self.lower_op(op)
-        self.flush_seg()
+        self.flush_all()
         if len(self.lines) == start:
             self.emit("pass")
 
@@ -229,28 +333,71 @@ class Lowerer:
         if info is not None:
             self.lower_compute(op, info)
         elif oc == "load":
-            res = self.bind(op.result,
-                            self._join_vary(op.operands))
-            self.emit(f"{res} = _ld(rt, {self.ref(op.operands[0])}, "
-                      f"{self.ref(op.operands[1])})")
+            self.lower_load(op)
         elif oc == "store":
-            self.emit(f"_st(rt, {self.ref(op.operands[0])}, "
-                      f"{self.ref(op.operands[1])}, "
-                      f"{self.ref(op.operands[2])})")
+            self.lower_store(op)
         elif oc == "atomic":
             via_red = op.attrs.get("via") == "reduction"
-            self.emit(f"_at(rt, {op.attrs['kind']!r}, {via_red!r}, "
-                      f"{self.ref(op.operands[0])}, "
-                      f"{self.ref(op.operands[1])}, "
-                      f"{self.ref(op.operands[2])})")
+            if self.masked:
+                self.emit(f"_atk(rt, {op.attrs['kind']!r}, {via_red!r}, "
+                          f"{self.ref(op.operands[0])}, "
+                          f"{self.ref(op.operands[1])}, "
+                          f"{self.ref(op.operands[2])})")
+            else:
+                self.fuser.stats.fast_atomics += 1
+                val_v, ptr_v, idx_v = op.operands
+                if (self.vary_of(ptr_v) is False
+                        and self.vary_of(idx_v) is False
+                        and self.vary_of(val_v) is True):
+                    # Scalar target accumulating a lane vector (the
+                    # adjoint of a broadcast read): open-code the
+                    # ordered ``accumulate`` fold from ``_at``.
+                    uf = {"add": "np.add", "min": "np.minimum",
+                          "max": "np.maximum"}[op.attrs["kind"]]
+                    v = self.ref_local(val_v)
+                    p = self.ref_local(ptr_v)
+                    i = self.ref_local(idx_v)
+                    b, x, dd, w = (self.fresh("_b"), self.fresh("_x"),
+                                   self.fresh("_d"), self.fresh("_w"))
+                    self.emit(f"if type({v}) is np.ndarray "
+                              f"and {v}.ndim == 1:")
+                    self._ind += 1
+                    self.emit(f"{b} = {p}.buffer")
+                    self.emit(f"if {b}.freed: {b}.check_alive()")
+                    self.emit(f"{x} = {p}.offset + {i}")
+                    self.emit(f"{dd} = {b}.data")
+                    self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
+                              f"Memory._check_bounds({b}, {x})")
+                    self.emit(f"{dd}[{x}] = {uf}.accumulate(np.concatenate("
+                              f"(({dd}[{x}:{x} + 1]), {v})))[-1]")
+                    self.emit(f"{w} = {v}.size if {v}.size > 1 else 1")
+                    if via_red:
+                        self.emit(f"rt.cost.reduction_ops += {w}")
+                        self.emit(f"rt.cost.store_bytes += {w} * 8")
+                    else:
+                        self.emit(f"rt.cost.atomic_ops += {w}")
+                        self.emit(f"rt.cost.store_bytes += {w} * 8")
+                        self.emit(f"rt.cost.load_bytes += {w} * 8")
+                    self._ind -= 1
+                    self.emit(f"else: _at(rt, {op.attrs['kind']!r}, "
+                              f"{via_red!r}, {v}, {p}, {i}, 0)")
+                    return
+                d = mono_add(self.mono_of(ptr_v), self.mono_of(idx_v))
+                self.emit(f"_at(rt, {op.attrs['kind']!r}, {via_red!r}, "
+                          f"{self.ref(val_v)}, "
+                          f"{self.ref(ptr_v)}, "
+                          f"{self.ref(idx_v)}, {d or 0})")
         elif oc == "alloc":
-            res = self.bind(op.result, self.depth > 0)
+            vec = self.depth > 0
+            res = self.bind(op.result, vec, 1 if vec else 0)
             self.emit(f"{res} = _al(rt, {self.konst(op)}, "
                       f"{self.ref(op.operands[0])})")
         elif oc == "ptradd":
-            res = self.bind(op.result, self._join_vary(op.operands))
-            self.emit(f"{res} = {self.ref(op.operands[0])}"
-                      f".added({self.ref(op.operands[1])})")
+            base, idx = op.operands
+            res = self.bind(op.result, self._join_vary(op.operands),
+                            mono_add(self.mono_of(base), self.mono_of(idx)))
+            self.emit(f"{res} = {self.ref(base)}"
+                      f".added({self.ref(idx)})")
             self.seg_add("int", False)
         elif oc == "memset":
             self.emit(f"_ms(rt, {self.ref(op.operands[0])}, "
@@ -285,13 +432,13 @@ class Lowerer:
         elif oc == "call":
             self.lower_call(op)
         elif oc == "barrier":
-            self.flush_seg()
+            self.flush_all()
             self.emit("if rt._fork_depth == 0:")
             self.emit("    raise InterpreterError("
                       "'barrier outside an executing fork region')")
             self.emit("yield BarrierEvent()")
         elif oc == "condition":
-            c = self.ref(op.operands[0])
+            c = self.ref_local(op.operands[0])
             self.emit(f"if isinstance({c}, np.ndarray) and {c}.size > 1:")
             self.emit("    raise InterpreterError('data-dependent while "
                       "inside a vectorized region')")
@@ -302,22 +449,78 @@ class Lowerer:
             raise LoweringError(f"no lowering for opcode {oc!r}")
 
     # ------------------------------------------------------------------
+    def _operand(self, v: Value) -> tuple[str, int]:
+        """(expression, fused-op count) for one compute operand,
+        inlining a pending fused expression when ``v`` carries one."""
+        if type(v) is Constant:
+            return _literal(v), 0
+        ent = self.fuser.take(v)
+        if ent is not None:
+            return ent
+        try:
+            return self.names[v], 0
+        except KeyError:
+            raise LoweringError(f"use of value {v!r} before definition")
+
+    def _result_mono(self, oc, op, operand_monos) -> Optional[int]:
+        """Monotonicity of a compute result (index-arithmetic algebra)."""
+        if oc in _MONO_ADD_OPS:
+            m = mono_add(operand_monos[0], operand_monos[1])
+        elif oc in _MONO_SUB_OPS:
+            m = mono_add(operand_monos[0], mono_neg(operand_monos[1]))
+        elif oc in _MONO_NEG_OPS:
+            m = mono_neg(operand_monos[0])
+        elif oc in _MONO_KEEP_OPS:
+            m = operand_monos[0]
+        elif oc in _MONO_MUL_OPS:
+            a, b = op.operands
+            sa, sb = _const_sign(a), _const_sign(b)
+            if sa is not None:
+                m = mono_scale(operand_monos[1], sa)
+            elif sb is not None:
+                m = mono_scale(operand_monos[0], sb)
+            else:
+                m = None
+        elif oc in _MONO_CLAMP_OPS:
+            # min/max against a uniform bound preserves direction but
+            # plateaus at the bound (never strict).
+            ma, mb = operand_monos
+            if ma == 0:
+                m = mb
+            elif mb == 0:
+                m = ma
+            else:
+                m = ma if ma == mb else None
+        else:
+            return None
+        return m if oc in _MONO_STRICT_OPS else mono_relax(m)
+
     def lower_compute(self, op, info) -> None:
         oc = op.opcode
-        refs = [self.ref(v) for v in op.operands]
         varying = self._join_vary(op.operands)
+        nops = 1
         if oc == "cmp":
+            a, na = self._operand(op.operands[0])
+            b, nb = self._operand(op.operands[1])
+            nops += na + nb
             pyop = _CMP_TEMPLATES[op.attrs["pred"]]
-            expr = f"({refs[0]} {pyop} {refs[1]})"
+            expr = f"({a} {pyop} {b})"
         elif oc == "select":
             cv = self.vary_of(op.operands[0])
-            where = f"np.where({refs[0]}, {refs[1]}, {refs[2]})"
-            pick = f"({refs[1]} if {refs[0]} else {refs[2]})"
             if cv is True:
-                expr = where
+                refs, counts = zip(*(self._operand(v) for v in op.operands))
+                nops += sum(counts)
+                expr = f"np.where({refs[0]}, {refs[1]}, {refs[2]})"
             elif cv is False:
-                expr = pick
+                refs, counts = zip(*(self._operand(v) for v in op.operands))
+                nops += sum(counts)
+                expr = f"({refs[1]} if {refs[0]} else {refs[2]})"
             else:
+                # The runtime-dispatch template repeats every operand,
+                # so they must be materialized locals.
+                refs = [self.ref_local(v) for v in op.operands]
+                where = f"np.where({refs[0]}, {refs[1]}, {refs[2]})"
+                pick = f"({refs[1]} if {refs[0]} else {refs[2]})"
                 expr = (f"({where} if isinstance({refs[0]}, np.ndarray) "
                         f"else {pick})")
             # A select between a varying and a uniform arm under a
@@ -326,6 +529,9 @@ class Lowerer:
                     self._join_vary(op.operands[1:]) is not False:
                 varying = None
         elif oc in _OPERATOR_TEMPLATES:
+            parts = [self._operand(v) for v in op.operands]
+            nops += sum(n for _, n in parts)
+            refs = [e for e, _ in parts]
             expr = _OPERATOR_TEMPLATES[oc].format(
                 a=refs[0],
                 b=refs[1] if len(refs) > 1 else "",
@@ -334,14 +540,195 @@ class Lowerer:
             # Everything else calls the interpreter's own evaluate
             # function (NumPy ufunc or array-aware lambda) — identical
             # numerics by construction.
+            parts = [self._operand(v) for v in op.operands]
+            nops += sum(n for _, n in parts)
+            refs = [e for e, _ in parts]
             expr = f"{self.konst(info.evaluate)}({', '.join(refs)})"
-        res = self.bind(op.result, varying)
-        self.emit(f"{res} = {expr}")
+        mono = (self._result_mono(oc, op, [self.mono_of(v)
+                                           for v in op.operands])
+                if varying is True else None)
+        stats = self.fuser.stats
+        stats.ops += 1
         if varying is None:
+            res = self.bind(op.result, varying, mono)
+            self.emit(f"{res} = {expr}")
+            stats.kernels += 1
             self.flush_seg()
             self.emit(f"_aw(rt, {info.cost!r}, {res})")
+            return
+        self.seg_add(info.cost, varying)
+        if (self.fusion and self.uses.get(op.result, 0) == 1
+                and nops <= FUSE_OP_CAP and len(expr) <= FUSE_CHAR_CAP):
+            # Single consumer: defer as a pending fused expression.
+            self.vary[op.result] = varying
+            if mono is not None:
+                self.mono[op.result] = mono
+            self.fuser.defer(op.result, expr, nops)
+            return
+        res = self.bind(op.result, varying, mono)
+        self.emit(f"{res} = {expr}")
+        stats.kernels += 1
+
+    # ------------------------------------------------------------------
+    def _emit_scalar_access(self, ptr_v, idx_v) -> tuple:
+        """Open-code the shared prefix of a statically-scalar memory
+        access (buffer resolve, liveness, address, bounds), mirroring
+        the scalar fast path of ``compile._ld``/``_st`` statement by
+        statement.  Returns ``(buf, addr, data)`` local names."""
+        p = self.ref_local(ptr_v)
+        i = self.ref(idx_v)
+        b, x, dd = self.fresh("_b"), self.fresh("_x"), self.fresh("_d")
+        self.emit(f"{b} = {p}.buffer")
+        self.emit(f"if {b}.freed: {b}.check_alive()")
+        self.emit(f"{x} = {p}.offset + {i}")
+        self.emit(f"{dd} = {b}.data")
+        self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
+                  f"Memory._check_bounds({b}, {x})")
+        return b, x, dd
+
+    def lower_load(self, op) -> None:
+        ptr_v, idx_v = op.operands
+        varying = self._join_vary(op.operands)
+        scal = (self.vary_of(ptr_v) is False
+                and self.vary_of(idx_v) is False)
+        if scal and self.loops and not self.masked:
+            # Statically scalar inside a loop: open-code the access
+            # (element-by-element adjoint sweeps are bound on the
+            # per-access call overhead, not the numerics).
+            b, x, dd = self._emit_scalar_access(ptr_v, idx_v)
+            res = self.bind(op.result, False)
+            self.emit(f"{res} = {dd}[{x}]")
+            self.emit(f"if {b}.stream: rt.cost.stream_bytes += 8")
+            self.emit("else: rt.cost.load_bytes += 8")
+            return
+        vec = (self.vary_of(ptr_v) is True or self.vary_of(idx_v) is True)
+        d = mono_add(self.mono_of(ptr_v), self.mono_of(idx_v))
+        if not self.masked and vec and (d == 2 or d == -2):
+            # Strictly-monotone vector gather, open-coded (the call
+            # overhead of ``_ldm`` rivals the slice copy itself at
+            # typical chunk widths).  Same observable effects as the
+            # helper, statement by statement.
+            self.fuser.stats.mono_loads += 1
+            p = self.ref_local(ptr_v)
+            i = self.ref_local(idx_v)
+            res = self.bind(op.result, varying)
+            o, b, x, dd = (self.fresh("_o"), self.fresh("_b"),
+                           self.fresh("_x"), self.fresh("_d"))
+            n, lo, hi, w = (self.fresh("_n"), self.fresh("_lo"),
+                            self.fresh("_hi"), self.fresh("_w"))
+            self.emit(f"{o} = {p}.offset")
+            self.emit(f"{x} = {i} if type({o}) is int and not {o} "
+                      f"else {o} + {i}")
+            self.emit(f"if type({x}) is np.ndarray and {x}.ndim == 1 "
+                      f"and {x}.size:")
+            self._ind += 1
+            self.emit(f"{b} = {p}.buffer")
+            self.emit(f"if {b}.freed: {b}.check_alive()")
+            self.emit(f"{dd} = {b}.data")
+            self.emit(f"{n} = {x}.size")
+            if d > 0:
+                self.emit(f"{lo} = int({x}[0]); {hi} = int({x}[{n} - 1])")
+            else:
+                self.emit(f"{lo} = int({x}[{n} - 1]); {hi} = int({x}[0])")
+            self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
+                      f"Memory._check_bounds({b}, {x})")
+            self.emit(f"if {hi} - {lo} == {n} - 1:")
+            if d > 0:
+                self.emit(f"    {res} = {dd}[{lo}:{hi} + 1].copy()")
+            else:
+                self.emit(f"    {res} = {dd}[{lo}:{hi} + 1][::-1].copy()")
+            self.emit(f"else: {res} = {dd}[{x}]")
+            self.emit(f"{w} = {n} if {n} > 1 else 1")
+            self.emit(f"if {b}.stream: rt.cost.stream_bytes += {w} * 8")
+            self.emit(f"else: rt.cost.load_bytes += {w} * 8")
+            self._ind -= 1
+            self.emit(f"else: {res} = _ld(rt, {p}, {i})")
+            return
+        res = self.bind(op.result, varying)
+        if not self.masked and vec and d:
+            self.fuser.stats.mono_loads += 1
+            self.emit(f"{res} = _ldm(rt, {self.ref(ptr_v)}, "
+                      f"{self.ref(idx_v)}, {d})")
         else:
-            self.seg_add(info.cost, varying)
+            helper = "_ldk" if self.masked else "_ld"
+            self.emit(f"{res} = {helper}(rt, {self.ref(ptr_v)}, "
+                      f"{self.ref(idx_v)})")
+
+    def lower_store(self, op) -> None:
+        val_v, ptr_v, idx_v = op.operands
+        scal = (self.vary_of(val_v) is False
+                and self.vary_of(ptr_v) is False
+                and self.vary_of(idx_v) is False)
+        val = self.ref(val_v)  # may inline a whole fused chain
+        if scal and self.loops and not self.masked:
+            b, x, dd = self._emit_scalar_access(ptr_v, idx_v)
+            self.emit(f"{dd}[{x}] = {val}")
+            self.emit(f"if {b}.stream: rt.cost.stream_bytes += 8")
+            self.emit("else: rt.cost.store_bytes += 8")
+            return
+        vec = (self.vary_of(ptr_v) is True or self.vary_of(idx_v) is True)
+        d = mono_add(self.mono_of(ptr_v), self.mono_of(idx_v))
+        if not self.masked and vec and (d == 2 or d == -2):
+            # Strictly-monotone vector scatter, open-coded (see the
+            # matching load path); preserves NumPy last-wins fancy
+            # semantics exactly like ``_stm``.
+            self.fuser.stats.mono_stores += 1
+            v = self.fresh("_v")
+            self.emit(f"{v} = {val}")
+            p = self.ref_local(ptr_v)
+            i = self.ref_local(idx_v)
+            o, b, x, dd = (self.fresh("_o"), self.fresh("_b"),
+                           self.fresh("_x"), self.fresh("_d"))
+            n, lo, hi, w = (self.fresh("_n"), self.fresh("_lo"),
+                            self.fresh("_hi"), self.fresh("_w"))
+            wi = self.fresh("_wi")
+            self.emit(f"{o} = {p}.offset")
+            self.emit(f"{x} = {i} if type({o}) is int and not {o} "
+                      f"else {o} + {i}")
+            self.emit(f"if type({x}) is np.ndarray and {x}.ndim == 1 "
+                      f"and {x}.size:")
+            self._ind += 1
+            self.emit(f"{b} = {p}.buffer")
+            self.emit(f"if {b}.freed: {b}.check_alive()")
+            self.emit(f"{dd} = {b}.data")
+            self.emit(f"{n} = {x}.size")
+            if d > 0:
+                self.emit(f"{lo} = int({x}[0]); {hi} = int({x}[{n} - 1])")
+            else:
+                self.emit(f"{lo} = int({x}[{n} - 1]); {hi} = int({x}[0])")
+            self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
+                      f"Memory._check_bounds({b}, {x})")
+            self.emit(f"if {hi} - {lo} == {n} - 1 and "
+                      f"(type({v}) is not np.ndarray or ({v}.ndim == 1 "
+                      f"and ({v}.size == {n} or {v}.size == 1))):")
+            self._ind += 1
+            if d > 0:
+                self.emit(f"{dd}[{lo}:{hi} + 1] = {v}")
+            else:
+                self.emit(f"if type({v}) is np.ndarray and "
+                          f"{v}.size == {n} and {n} > 1:")
+                self.emit(f"    {dd}[{lo}:{hi} + 1] = {v}[::-1]")
+                self.emit(f"else: {dd}[{lo}:{hi} + 1] = {v}")
+            self._ind -= 1
+            self.emit(f"else: {dd}[{x}] = {v}")
+            self.emit(f"{w} = {v}.size if type({v}) is np.ndarray "
+                      f"and {v}.size > 1 else 1")
+            self.emit(f"{wi} = {i}.size if type({i}) is np.ndarray "
+                      f"and {i}.size > 1 else 1")
+            self.emit(f"if {wi} > {w}: {w} = {wi}")
+            self.emit(f"if {b}.stream: rt.cost.stream_bytes += {w} * 8")
+            self.emit(f"else: rt.cost.store_bytes += {w} * 8")
+            self._ind -= 1
+            self.emit(f"else: _st(rt, {v}, {p}, {i})")
+            return
+        if not self.masked and vec and d:
+            self.fuser.stats.mono_stores += 1
+            self.emit(f"_stm(rt, {val}, {self.ref(ptr_v)}, "
+                      f"{self.ref(idx_v)}, {d})")
+        else:
+            helper = "_stk" if self.masked else "_st"
+            self.emit(f"{helper}(rt, {val}, {self.ref(ptr_v)}, "
+                      f"{self.ref(idx_v)})")
 
     # ------------------------------------------------------------------
     def _lower_vector_body(self, body, ivar_name: str) -> None:
@@ -362,7 +749,9 @@ class Lowerer:
         saved_depth, saved_w = self.depth, self.wexpr
         self.depth, self.wexpr = self.depth + 1, w
         self._ind += 2
+        self.loops += 1
         self.lower_block(body)
+        self.loops -= 1
         self._ind -= 2
         self.depth, self.wexpr = saved_depth, saved_w
         self.emit("finally:")
@@ -370,7 +759,7 @@ class Lowerer:
         self.emit(f"    rt.simd_width = {sw}")
 
     def lower_for(self, op) -> None:
-        self.flush_seg()
+        self.flush_all()
         lb, ub, st = (self.fresh("_lb"), self.fresh("_ub"), self.fresh("_st"))
         self.emit(f"{lb} = int({self.ref(op.operands[0])})")
         self.emit(f"{ub} = int({self.ref(op.operands[1])})")
@@ -390,7 +779,7 @@ class Lowerer:
             self.emit(f"{lo}, {hi} = chunk_bounds({lb}, {ub}, {st}, "
                       f"rt.current_thread, rt._fork_width)")
             if simd:
-                vi = self.bind(ivar, True)
+                vi = self.bind(ivar, True, -2 if backwards else 2)
                 self.emit(f"if {hi} > {lo}:")
                 self._ind += 1
                 arange = f"np.arange({lo}, {hi}, {st}, dtype=np.int64)"
@@ -405,12 +794,16 @@ class Lowerer:
                     rng = f"reversed({rng})"
                 self.emit(f"for {vi} in {rng}:")
                 self._ind += 1
+                self.loops += 1
                 self.lower_block(body)
+                self.loops -= 1
                 self._ind -= 1
             if not op.attrs.get("nowait"):
                 self.emit("yield BarrierEvent()")
         elif simd:
-            vi = self.bind(ivar, True)
+            # reverse_order is only honored on workshare loops (matching
+            # the interpreter) — plain simd induction is non-decreasing.
+            vi = self.bind(ivar, True, 2)
             self.emit(f"if {ub} > {lb}:")
             self._ind += 1
             self.emit(f"{vi} = np.arange({lb}, {ub}, {st}, dtype=np.int64)")
@@ -421,14 +814,16 @@ class Lowerer:
             vi = self.bind(ivar, False)
             self.emit(f"for {vi} in range({lb}, {ub}, {st}):")
             self._ind += 1
+            self.loops += 1
             self.lower_block(body)
+            self.loops -= 1
             self._ind -= 1
 
     def lower_parallel_for(self, op) -> None:
         if self.depth > 0:
             self.lower_bridge(op)
             return
-        self.flush_seg()
+        self.flush_all()
         lb, ub = self.fresh("_lb"), self.fresh("_ub")
         self.emit(f"{lb} = int({self.ref(op.operands[0])})")
         self.emit(f"{ub} = int({self.ref(op.operands[1])})")
@@ -454,7 +849,7 @@ class Lowerer:
         self.emit(f"rt.cost = {c}")
         self.emit(f"rt.current_thread = {t}")
         body = op.regions[0]
-        vi = self.bind(body.args[0], True)
+        vi = self.bind(body.args[0], True, 2)
         self.emit(f"if {hi} > {lo}:")
         self._ind += 1
         self.emit(f"{vi} = np.arange({lo}, {hi}, dtype=np.int64)")
@@ -478,10 +873,10 @@ class Lowerer:
         if cv is None:
             self.lower_bridge(op)
             return
-        self.flush_seg()
-        c = self.ref(op.operands[0])
+        self.flush_all()
         then_body, else_body = op.regions
         if cv is False:
+            c = self.ref(op.operands[0])
             self.emit(f"if {c}:")
             self._ind += 1
             if then_body.ops:
@@ -497,11 +892,16 @@ class Lowerer:
             return
         # Masked (vectorized) if — mirrors Interpreter._exec_if,
         # publishing the live mask to rt so loads/stores/bridges see it.
+        # The condition is referenced by both mask expressions, so it
+        # must be a materialized local.
+        c = self.ref_local(op.operands[0])
         om, omc = self.fresh("_om"), self.fresh("_omc")
         self.emit(f"{om}, {omc} = rt.mask, rt.mask_count")
         self.emit("try:")
         self._ind += 1
         saved_w = self.wexpr
+        saved_masked = self.masked
+        self.masked = True
         if then_body.ops:
             mt = self.fresh("_mt")
             self.emit(f"{mt} = {c} if {om} is None else ({om} & {c})")
@@ -528,6 +928,7 @@ class Lowerer:
             self.lower_block(else_body)
             self.wexpr = saved_w
             self._ind -= 1
+        self.masked = saved_masked
         if not then_body.ops and not else_body.ops:
             self.emit("pass")
         self._ind -= 1
@@ -535,7 +936,7 @@ class Lowerer:
         self.emit(f"    rt.mask, rt.mask_count = {om}, {omc}")
 
     def lower_while(self, op) -> None:
-        self.flush_seg()
+        self.flush_all()
         body = op.regions[0]
         cnt, lim = self.fresh("_cnt"), self.fresh("_lim")
         vi = self.bind(body.args[0], False)
@@ -544,7 +945,9 @@ class Lowerer:
         self.emit("while True:")
         self._ind += 1
         self.emit(f"{vi} = {cnt}")
+        self.loops += 1
         self.lower_block(body)
+        self.loops -= 1
         self.emit(f"{cnt} += 1")
         self.emit(f"if {cnt} > {lim}:")
         self.emit(f"    raise InterpreterError('while loop exceeded ' + "
@@ -557,7 +960,7 @@ class Lowerer:
         if self.depth > 0:
             self.lower_bridge(op)
             return
-        self.flush_seg()
+        self.flush_all()
         want, nt = self.fresh("_want"), self.fresh("_fnt")
         self.emit(f"{want} = int({self.ref(op.operands[0])})")
         self.emit(f"{nt} = {want} if {want} > 0 else rt.config.num_threads")
@@ -575,7 +978,7 @@ class Lowerer:
         self.emit(f"yield from _rf(rt, {nt}, {fb})")
 
     def lower_call(self, op) -> None:
-        self.flush_seg()
+        self.flush_all()
         args = ", ".join(self.ref(v) for v in op.operands)
         args = f"[{args}]"
         call = f"yield from _ca(rt, {self.konst(op)}, {args})"
@@ -593,7 +996,7 @@ class Lowerer:
         through ``rt._gen_dispatch`` against the same runtime state, so
         results, costs and clock are bit-identical.
         """
-        self.flush_seg()
+        self.flush_all()
         env = self.fresh("_env")
         items = ", ".join(
             f"{self.konst(v)}: {self.ref(v)}" for v in free_values(op))
@@ -604,6 +1007,6 @@ class Lowerer:
             self.emit(f"{res} = {env}[{self.konst(op.result)}]")
 
 
-def lower_function(fn) -> tuple[str, dict]:
-    """Lower ``fn``; returns ``(python_source, const_globals)``."""
-    return Lowerer(fn).build()
+def lower_function(fn, fusion: bool = True) -> tuple:
+    """Lower ``fn``; returns ``(python_source, const_globals, stats)``."""
+    return Lowerer(fn, fusion=fusion).build()

@@ -71,8 +71,21 @@ class CostVector:
 
     # ------------------------------------------------------------------
     def merge(self, other: "CostVector") -> None:
-        for slot in CostVector.__slots__:
-            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
+        # Unrolled (hot in per-thread phase accounting): direct slot
+        # adds are ~4x cheaper than a getattr/setattr loop.
+        self.flops += other.flops
+        self.divs += other.divs
+        self.specials += other.specials
+        self.int_ops += other.int_ops
+        self.load_bytes += other.load_bytes
+        self.store_bytes += other.store_bytes
+        self.stream_bytes += other.stream_bytes
+        self.atomic_ops += other.atomic_ops
+        self.reduction_ops += other.reduction_ops
+        self.calls += other.calls
+        self.tape_ops += other.tape_ops
+        self.tape_bytes += other.tape_bytes
+        self.alloc_bytes += other.alloc_bytes
 
     def copy(self) -> "CostVector":
         c = CostVector()

@@ -52,9 +52,31 @@ _SMOKE_CASES = [
 ]
 
 
+def _backend_summary(stats) -> dict | None:
+    """Compress Executor.compile_stats() into the benchmark-row form."""
+    if not stats:
+        return None
+    cache = stats.get("cache")
+    return {
+        "functions": stats["functions"],
+        "fusion": stats["fusion"],
+        "ops": stats["ops"],
+        "kernels": stats["kernels"],
+        "fused_ops": stats["fused_ops"],
+        "mono_loads": stats["mono_loads"],
+        "mono_stores": stats["mono_stores"],
+        "fast_atomics": stats["fast_atomics"],
+        "cache": ({k: cache[k] for k in
+                   ("hits", "misses", "stores", "errors")}
+                  if cache else None),
+    }
+
+
 def _run_lulesh(backend: str, flavor: str, nx: int, steps: int,
-                num_threads: int = 1, reps: int = 1) -> dict:
-    app = LuleshApp(flavor, nx, backend=backend)
+                num_threads: int = 1, reps: int = 1,
+                fusion: bool = True, cache_dir=None) -> dict:
+    app = LuleshApp(flavor, nx, backend=backend, fusion=fusion,
+                    compile_cache=cache_dir)
     app.grad_fn()  # build the derivative outside the timed region
 
     def one_run():
@@ -65,6 +87,9 @@ def _run_lulesh(backend: str, flavor: str, nx: int, steps: int,
         return time.perf_counter() - t0, doms, shadows, res
 
     one_run()  # warmup: compiles under backend="compiled"
+    # The warmup run is where compilation (and any disk-cache traffic)
+    # happens; the timed reps below hit the in-memory per-function memo.
+    stats = _backend_summary(app.last_compile_stats)
     times = []
     for _ in range(reps):
         t, doms, shadows, res = one_run()
@@ -75,12 +100,15 @@ def _run_lulesh(backend: str, flavor: str, nx: int, steps: int,
     primal = np.concatenate([np.asarray(d[f], dtype=np.float64).ravel()
                              for d in doms for f in sorted(d.arrays)])
     return {"seconds": best, "grads": grads, "primal": primal,
-            "clock": res.time, "cost": res.cost.as_dict()}
+            "clock": res.time, "cost": res.cost.as_dict(),
+            "backend_stats": stats}
 
 
 def _run_minibude(backend: str, variant: str, num_threads: int = 1,
-                  reps: int = 1) -> dict:
-    app = MinibudeApp(variant, backend=backend)
+                  reps: int = 1, fusion: bool = True,
+                  cache_dir=None) -> dict:
+    app = MinibudeApp(variant, backend=backend, fusion=fusion,
+                      compile_cache=cache_dir)
     app.grad_fn()
 
     def one_run():
@@ -89,6 +117,7 @@ def _run_minibude(backend: str, variant: str, num_threads: int = 1,
         return time.perf_counter() - t0, shadows, res
 
     one_run()
+    stats = _backend_summary(app.last_compile_stats)
     times = []
     for _ in range(reps):
         t, shadows, res = one_run()
@@ -97,14 +126,15 @@ def _run_minibude(backend: str, variant: str, num_threads: int = 1,
     grads = np.concatenate([shadows[k].ravel() for k in sorted(shadows)])
     return {"seconds": best, "grads": grads,
             "primal": res.energies.copy(), "clock": res.time,
-            "cost": res.cost.as_dict()}
+            "cost": res.cost.as_dict(), "backend_stats": stats}
 
 
 def run_case(name: str, kind: str, headline: bool, kwargs: dict,
-             reps: int) -> dict:
+             reps: int, fusion: bool = True, cache_dir=None) -> dict:
     runner = _run_lulesh if kind == "lulesh" else _run_minibude
     interp = runner("interp", reps=reps, **kwargs)
-    compiled = runner("compiled", reps=reps, **kwargs)
+    compiled = runner("compiled", reps=reps, fusion=fusion,
+                      cache_dir=cache_dir, **kwargs)
     dev = max(float(np.max(np.abs(interp["grads"] - compiled["grads"]))),
               float(np.max(np.abs(interp["primal"] - compiled["primal"]))))
     return {
@@ -116,6 +146,7 @@ def run_case(name: str, kind: str, headline: bool, kwargs: dict,
         "max_abs_dev": dev,
         "clock_match": interp["clock"] == compiled["clock"],
         "cost_match": interp["cost"] == compiled["cost"],
+        "backend": compiled["backend_stats"],
     }
 
 
@@ -129,19 +160,35 @@ def main(argv=None) -> int:
                     help="max allowed |interp - compiled| deviation")
     ap.add_argument("--out", metavar="FILE",
                     help="write the JSON report here as well as stdout")
+    ap.add_argument("--no-fusion", action="store_true",
+                    help="disable trace fusion in the compiled backend")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    help="persistent compile-cache directory for the "
+                         "compiled backend (unset: defer to the "
+                         "REPRO_CACHE_DIR environment variable; no "
+                         "caching when that is unset too)")
     args = ap.parse_args(argv)
 
     cases = _SMOKE_CASES if args.smoke else _FULL_CASES
     rows = []
     for name, kind, headline, kwargs in cases:
-        row = run_case(name, kind, headline, kwargs, args.reps)
+        row = run_case(name, kind, headline, kwargs, args.reps,
+                       fusion=not args.no_fusion,
+                       cache_dir=args.cache_dir)
         rows.append(row)
+        be = row["backend"] or {}
+        cache = be.get("cache")
+        extra = (f" fused={be['fused_ops']}/{be['ops']}"
+                 f" kernels={be['kernels']}" if be else "")
+        if cache:
+            extra += (f" cache[h={cache['hits']} m={cache['misses']} "
+                      f"s={cache['stores']}]")
         print(f"{row['case']:24s} interp={row['interp_seconds']:8.3f}s "
               f"compiled={row['compiled_seconds']:8.3f}s "
               f"speedup={row['speedup']:5.2f}x "
               f"dev={row['max_abs_dev']:.2e} "
               f"clock_match={row['clock_match']} "
-              f"cost_match={row['cost_match']}")
+              f"cost_match={row['cost_match']}{extra}")
 
     headline_speedups = [r["speedup"] for r in rows if r["headline"]]
     report = {

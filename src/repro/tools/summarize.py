@@ -91,6 +91,19 @@ def render_backend_report(payload: dict) -> str:
         raise ValueError(f"not a backend-bench report "
                          f"(tool={payload.get('tool')!r}); expected "
                          f"bench_backend --out output")
+    def _fused(r):
+        be = r.get("backend")
+        if not be:
+            return ""
+        return f"{be['fused_ops']}/{be['ops']}"
+
+    def _cache(r):
+        cache = (r.get("backend") or {}).get("cache")
+        if not cache:
+            return "off"
+        return (f"h{cache['hits']} m{cache['misses']} "
+                f"s{cache['stores']}")
+
     rows = [{"case": r["case"],
              "headline": "yes" if r.get("headline") else "",
              "interp_s": r["interp_seconds"],
@@ -98,7 +111,10 @@ def render_backend_report(payload: dict) -> str:
              "speedup": f"{r['speedup']:.2f}x",
              "max_abs_dev": f"{r['max_abs_dev']:.1e}",
              "clock": "=" if r["clock_match"] else "DIVERGED",
-             "cost": "=" if r["cost_match"] else "DIVERGED"}
+             "cost": "=" if r["cost_match"] else "DIVERGED",
+             "fused_ops": _fused(r),
+             "kernels": (r.get("backend") or {}).get("kernels", ""),
+             "cache": _cache(r)}
             for r in payload.get("rows", [])]
     title = (f"backend-bench ({payload.get('mode', '?')}): "
              f"compiled vs interp, headline speedup "

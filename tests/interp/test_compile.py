@@ -263,7 +263,7 @@ def test_tape_pins_interpreter():
 def test_lowering_failure_falls_back(monkeypatch):
     import repro.interp.compile as compile_mod
 
-    def boom(fn):
+    def boom(fn, **kwargs):
         raise LoweringError("synthetic failure")
 
     monkeypatch.setattr(compile_mod, "compile_function", boom)

@@ -1,0 +1,233 @@
+"""Persistent compile cache: key correctness (anything that can change
+the generated code changes the key), corruption tolerance, and the
+ExecConfig/environment plumbing."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ad import ADConfig, Duplicated, autodiff
+from repro.interp import (
+    CompileCache,
+    ExecConfig,
+    Executor,
+    compile_function,
+    config_fingerprint,
+    resolve_cache_dir,
+)
+from repro.interp.diskcache import FORMAT_VERSION, open_cache
+from repro.ir import I64, IRBuilder, Ptr, verify_module
+
+
+def _module(scale: float = 2.0):
+    b = IRBuilder()
+    with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n, simd=True) as i:
+            b.store(b.mul(b.load(x, i), scale), x, i)
+    verify_module(b.module)
+    return b.module
+
+
+def _lowered_source(module, fn="f", **kwargs):
+    return compile_function(module.functions[fn],
+                            **kwargs).__lowered_source__
+
+
+def _entry_paths(root):
+    out = []
+    for dirpath, _, files in os.walk(root):
+        out += [os.path.join(dirpath, f) for f in files
+                if f.endswith(".json")]
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Key correctness: each input dimension must change the key
+# ---------------------------------------------------------------------------
+
+def test_exec_config_change_is_a_miss(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    src = _lowered_source(_module())
+    fp1 = config_fingerprint(ExecConfig(num_threads=1))
+    fp2 = config_fingerprint(ExecConfig(num_threads=4))
+    assert fp1 != fp2
+    assert cache.key(src, fp1) != cache.key(src, fp2)
+    code = compile(src, "<t>", "exec")
+    cache.store(src, fp1, code)
+    assert cache.load(src, fp2) is None      # different config: miss
+    assert cache.load(src, fp1) is not None  # same config: hit
+    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                             "errors": 0}
+
+
+def test_ir_body_change_is_a_miss(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    src1 = _lowered_source(_module(2.0))
+    src2 = _lowered_source(_module(3.0))
+    assert src1 != src2
+    cache.store(src1, fp, compile(src1, "<t>", "exec"))
+    assert cache.load(src2, fp) is None
+    assert cache.load(src1, fp) is not None
+
+
+def test_ad_config_change_is_a_miss(tmp_path):
+    """An ADConfig that changes the generated gradient code must reach
+    the key through the lowered source.  (ADConfig knobs that only
+    change *constants* — e.g. alloc attributes from cache_space — may
+    legitimately share an entry: the cache stores the compiled code
+    object only, and lowering rebuilds the constant table on every
+    load.)"""
+    def nonlinear_module():
+        b = IRBuilder()
+        with b.function("f", [("x", Ptr()), ("n", I64)]) as f:
+            x, n = f.args
+            with b.for_(0, n, simd=True) as i:
+                v = b.load(x, i)
+                b.store(b.mul(b.sin(v), v), x, i)
+        verify_module(b.module)
+        return b.module
+
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    sources = []
+    for cfg in (ADConfig(), ADConfig(opt_level="none", post_opt=False)):
+        mod = nonlinear_module()
+        grad = autodiff(mod, "f", [Duplicated, None], cfg)
+        sources.append(_lowered_source(mod, grad))
+    src_a, src_b = sources
+    assert src_a != src_b
+    cache.store(src_a, fp, compile(src_a, "<t>", "exec"))
+    assert cache.load(src_b, fp) is None
+    assert cache.load(src_a, fp) is not None
+
+
+def test_fusion_flag_changes_source_and_key(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    mod = _module()
+    src_on = _lowered_source(mod, fusion=True)
+    src_off = _lowered_source(mod, fusion=False)
+    assert src_on != src_off
+    assert cache.key(src_on, fp) != cache.key(src_off, fp)
+
+
+def test_format_version_change_is_a_miss(tmp_path, monkeypatch):
+    import repro.interp.diskcache as dc
+
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    src = _lowered_source(_module())
+    cache.store(src, fp, compile(src, "<t>", "exec"))
+    assert cache.load(src, fp) is not None
+    old_key = cache.key(src, fp)
+
+    monkeypatch.setattr(dc, "FORMAT_VERSION", FORMAT_VERSION + 1)
+    bumped = CompileCache(str(tmp_path))
+    # the key itself moves, so the old entry is simply never found
+    assert bumped.key(src, fp) != old_key
+    assert bumped.load(src, fp) is None
+    assert bumped.stats()["misses"] == 1
+
+
+def test_stale_format_entry_rejected_even_on_key_collision(tmp_path,
+                                                           monkeypatch):
+    """Defense in depth: an entry whose payload claims another format
+    version is rejected at load even if it sits at the right path."""
+    import repro.interp.diskcache as dc
+
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    src = _lowered_source(_module())
+    cache.store(src, fp, compile(src, "<t>", "exec"))
+    (path,) = _entry_paths(cache.root)
+    with open(path) as f:
+        entry = json.load(f)
+    entry["format"] = FORMAT_VERSION + 1
+    with open(path, "w") as f:
+        json.dump(entry, f)
+    assert cache.load(src, fp) is None
+    assert cache.stats()["errors"] == 1
+    assert not os.path.exists(path)  # corrupt entry unlinked
+
+
+# ---------------------------------------------------------------------------
+# Corruption tolerance
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("corruption", [
+    b"",                          # empty file
+    b"{not json",                 # unparseable
+    b'{"format": 1}',             # missing payload
+    None,                         # truncated (handled below)
+])
+def test_corrupt_entry_falls_back_to_recompile(tmp_path, corruption):
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    src = _lowered_source(_module())
+    cache.store(src, fp, compile(src, "<t>", "exec"))
+    (path,) = _entry_paths(cache.root)
+    if corruption is None:
+        with open(path, "rb") as f:
+            payload = f.read()
+        corruption = payload[:len(payload) // 2]
+    with open(path, "wb") as f:
+        f.write(corruption)
+    assert cache.load(src, fp) is None
+    assert cache.stats()["errors"] == 1
+    # and a full compile-through-the-cache still works end to end
+    mod = _module()
+    ex = Executor(mod, ExecConfig(backend="compiled",
+                                  compile_cache=str(tmp_path)))
+    ex.interp.backend.strict = True
+    x = np.arange(3.0)
+    ex.run("f", x, 3)
+    np.testing.assert_array_equal(x, np.arange(3.0) * 2.0)
+
+
+def test_corrupt_marshal_blob_is_a_miss(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    fp = config_fingerprint(ExecConfig())
+    src = _lowered_source(_module())
+    cache.store(src, fp, compile(src, "<t>", "exec"))
+    (path,) = _entry_paths(cache.root)
+    with open(path) as f:
+        entry = json.load(f)
+    entry["code"] = "AAAA"  # valid base64, not a marshaled code object
+    with open(path, "w") as f:
+        json.dump(entry, f)
+    assert cache.load(src, fp) is None
+    assert cache.stats()["errors"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Config / environment plumbing
+# ---------------------------------------------------------------------------
+
+def test_resolve_cache_dir_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert resolve_cache_dir(ExecConfig()) is None
+    assert resolve_cache_dir(ExecConfig(compile_cache="off")) is None
+    assert resolve_cache_dir(
+        ExecConfig(compile_cache=str(tmp_path))) == str(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    assert resolve_cache_dir(ExecConfig()) == str(tmp_path / "env")
+    # explicit "off" beats the environment
+    assert resolve_cache_dir(ExecConfig(compile_cache="off")) is None
+    assert open_cache(ExecConfig(compile_cache="off")) is None
+
+
+def test_end_to_end_warm_process_hits(tmp_path):
+    """Two executors over the same module + config: the second's disk
+    cache is hit (fresh Function objects defeat the in-memory memo)."""
+    cfg = dict(backend="compiled", compile_cache=str(tmp_path))
+    ex1 = Executor(_module(), ExecConfig(**cfg))
+    ex1.run("f", np.zeros(2), 2)
+    assert ex1.compile_stats()["cache"]["stores"] == 1
+    ex2 = Executor(_module(), ExecConfig(**cfg))
+    ex2.run("f", np.zeros(2), 2)
+    st = ex2.compile_stats()["cache"]
+    assert st == {"hits": 1, "misses": 0, "stores": 0, "errors": 0}

@@ -1,0 +1,147 @@
+"""Trace fusion: the monotonicity algebra, the fusion statistics, and
+the fusion on/off switch."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ExecConfig, Executor, compile_function
+from repro.interp.fusion import (
+    FUSE_OP_CAP,
+    FusionStats,
+    mono_add,
+    mono_neg,
+    mono_relax,
+    mono_scale,
+)
+from repro.ir import I64, IRBuilder, Ptr, verify_module
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity algebra
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("a,b,want", [
+    (0, 0, 0),
+    (0, 2, 2),          # uniform + strict keeps strictness
+    (2, 0, 2),
+    (1, 2, 2),          # non-strict + strict stays strict
+    (2, 2, 2),
+    (-2, -1, -2),
+    (1, -1, None),      # opposing directions
+    (2, -2, None),
+    (None, 2, None),
+    (1, None, None),
+])
+def test_mono_add(a, b, want):
+    assert mono_add(a, b) == want
+
+
+def test_mono_neg():
+    assert mono_neg(2) == -2
+    assert mono_neg(-1) == 1
+    assert mono_neg(0) == 0
+    assert mono_neg(None) is None
+
+
+def test_mono_scale():
+    assert mono_scale(2, 1) == 2
+    assert mono_scale(2, -1) == -2
+    assert mono_scale(1, -1) == -1
+    assert mono_scale(2, 0) == 0
+    assert mono_scale(0, -1) == 0
+    assert mono_scale(None, 1) is None
+    assert mono_scale(2, None) is None
+
+
+def test_mono_relax_demotes_strictness():
+    assert mono_relax(2) == 1
+    assert mono_relax(-2) == -1
+    assert mono_relax(1) == 1
+    assert mono_relax(0) == 0
+    assert mono_relax(None) is None
+
+
+# ---------------------------------------------------------------------------
+# Fusion statistics and the on/off switch
+# ---------------------------------------------------------------------------
+
+def _chain_module(nops: int):
+    """One simd loop applying ``nops`` dependent elementwise ops."""
+    b = IRBuilder()
+    with b.function("chain", [("x", Ptr()), ("n", I64)]) as f:
+        x, n = f.args
+        with b.for_(0, n, simd=True) as i:
+            v = b.load(x, i)
+            for _ in range(nops):
+                v = b.add(b.mul(v, 1.0000001), 1e-9)
+            b.store(v, x, i)
+    verify_module(b.module)
+    return b.module
+
+
+def test_fusion_stats_count_folded_ops():
+    mod = _chain_module(8)
+    code = compile_function(mod.functions["chain"], fusion=True)
+    st = code.__fusion_stats__
+    assert isinstance(st, FusionStats)
+    assert st.ops == 16           # 8 * (mul + add)
+    # A single-use chain collapses into the store: every compute op is
+    # folded, none needs its own kernel statement.
+    assert st.fused_ops == 16
+    assert st.kernels == 0
+    assert st.as_dict()["fused_ops"] == 16
+
+
+def test_unfused_lowering_emits_every_op():
+    mod = _chain_module(8)
+    code = compile_function(mod.functions["chain"], fusion=False)
+    st = code.__fusion_stats__
+    assert st.ops == 16
+    assert st.fused_ops == 0
+    assert st.kernels == 16
+
+
+def test_fuse_op_cap_splits_long_chains():
+    """A chain longer than FUSE_OP_CAP must split into >1 kernel
+    instead of growing one unbounded expression."""
+    nops = FUSE_OP_CAP + 10
+    mod = _chain_module(nops)
+    code = compile_function(mod.functions["chain"], fusion=True)
+    st = code.__fusion_stats__
+    assert st.ops == 2 * nops
+    assert st.kernels >= 1            # at least one forced split
+    assert st.fused_ops < st.ops
+    # and the generated source stays within one expression per split
+    assert "def _compiled" in code.__lowered_source__
+
+
+def test_fusion_config_switch_same_results():
+    mod = _chain_module(6)
+    outs = {}
+    for fusion in (True, False):
+        x = np.linspace(-1, 1, 7)
+        ex = Executor(mod, ExecConfig(backend="compiled", fusion=fusion))
+        ex.interp.backend.strict = True
+        ex.run("chain", x, 7)
+        outs[fusion] = (x, ex.clock, ex.cost.as_dict())
+    np.testing.assert_array_equal(outs[True][0], outs[False][0])
+    assert outs[True][1] == outs[False][1]
+    assert outs[True][2] == outs[False][2]
+
+
+def test_fusion_flag_reaches_backend():
+    mod = _chain_module(2)
+    ex = Executor(mod, ExecConfig(backend="compiled", fusion=False))
+    assert ex.interp.backend.fusion is False
+    ex.run("chain", np.zeros(3), 3)
+    stats = ex.compile_stats()
+    assert stats["fusion"] is False
+    assert stats["functions"] == 1
+    assert stats["fused_ops"] == 0
+
+
+def test_executor_compile_stats_none_for_interp():
+    mod = _chain_module(1)
+    ex = Executor(mod, ExecConfig(backend="interp"))
+    ex.run("chain", np.zeros(2), 2)
+    assert ex.compile_stats() is None
