@@ -15,14 +15,19 @@ passing, with:
   (:mod:`repro.ad.transform`, :mod:`repro.ad.mpi_rules`).
 """
 
-from .api import Active, ADConfig, Const, Duplicated, autodiff
+from .api import (Active, ADConfig, Const, Duplicated, autodiff,
+                  autodiff_transform)
 from .cacheplan import CachePlan, CachePlanner, PlanError
 from .forward import autodiff_forward
+from .strategy import (AdjointPlan, AdjointStrategy, CacheAllAdjoint,
+                       CheckpointAdjoint, ImplicitAdjoint, resolve_strategy)
 from .transform import ADTransform, ADTransformError
 
 __all__ = [
     "Active", "ADConfig", "Const", "Duplicated", "autodiff",
-    "autodiff_forward",
+    "autodiff_transform", "autodiff_forward",
     "CachePlan", "CachePlanner", "PlanError",
+    "AdjointPlan", "AdjointStrategy", "CacheAllAdjoint",
+    "CheckpointAdjoint", "ImplicitAdjoint", "resolve_strategy",
     "ADTransform", "ADTransformError",
 ]

@@ -27,5 +27,15 @@ from .transform import Active, ADConfig, ADTransform, Const, Duplicated
 def autodiff(module: Module, fn_name: str, activities: list,
              config: Optional[ADConfig] = None) -> str:
     """Generate (or reuse) the gradient of ``fn_name``; returns its name."""
+    return autodiff_transform(module, fn_name, activities, config).grad_name
+
+
+def autodiff_transform(module: Module, fn_name: str, activities: list,
+                       config: Optional[ADConfig] = None) -> ADTransform:
+    """Like :func:`autodiff` but returns the transform itself, exposing
+    the analyses of the run (``adjoint_report``, ``lint_result``,
+    ``comm_result``, the cache ``plan``)."""
     register_mpid_intrinsics(module)
-    return ADTransform(module, fn_name, activities, config).build()
+    tr = ADTransform(module, fn_name, activities, config)
+    tr.build()
+    return tr

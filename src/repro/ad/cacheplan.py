@@ -101,16 +101,24 @@ def depth_of(v: Value) -> int:
     return max(1, len(nest_of(op)))
 
 
-def dims_for_op(op: Op) -> list[Op]:
+def dims_for_op(op: Op, exclude=()) -> list[Op]:
     """Cache dimensions for values defined at ``op``.
 
     Drops a fork dimension when a worksharing loop lies deeper in the
     nest: worksharing iterations are cached by iteration index alone
     (§VI-B), independent of the thread that executed them.
+
+    ``exclude`` holds loops whose storage is managed by an
+    :class:`repro.ad.strategy.AdjointStrategy` (checkpoint / implicit):
+    those loops re-run one augmented iteration at a time during the
+    reverse sweep, so caches inside them hold a *single* iteration and
+    the managed loop contributes no index dimension.
     """
     nest = nest_of(op)
     dims: list[Op] = []
     for i, d in enumerate(nest):
+        if d in exclude:
+            continue
         if d.opcode == "fork":
             deeper_ws = any(
                 n.opcode == "for" and n.attrs.get("workshare")
@@ -196,13 +204,17 @@ class CachePlan:
 class CachePlanner:
     def __init__(self, fn: Function, module: Module, aliasing: AliasInfo,
                  activity: ActivityInfo, cache_all: bool = False,
-                 nominal_extent: int = 64) -> None:
+                 nominal_extent: int = 64,
+                 managed_loops: frozenset = frozenset()) -> None:
         self.fn = fn
         self.module = module
         self.aliasing = aliasing
         self.activity = activity
         self.cache_all = cache_all
         self.nominal_extent = nominal_extent
+        #: Loops whose storage an AdjointStrategy manages: they add no
+        #: cache dimension (single-iteration caches; see dims_for_op).
+        self.managed_loops = managed_loops
         self.plan = CachePlan()
         self._slot_ids = 0
 
@@ -356,7 +368,7 @@ class CachePlanner:
         raise PlanError(f"unsupported pointer derivation {op!r}")
 
     def _add_synthetic(self, key, elem: Type, op: Op) -> None:
-        dims = dims_for_op(op)
+        dims = dims_for_op(op, self.managed_loops)
         self._make_slot(key, elem, dims)
 
     def _plan_shadow_persistence(self, op: Op) -> None:
@@ -371,7 +383,7 @@ class CachePlanner:
             return  # function-level: the forward SSA shadow is in scope
         if not self._alloc_needs_shadow(op):
             return
-        dims = dims_for_op(op)
+        dims = dims_for_op(op, self.managed_loops)
         parallel = any(
             d.opcode in ("parallel_for", "fork")
             or (d.opcode == "for" and d.attrs.get("workshare"))
@@ -500,7 +512,7 @@ class CachePlanner:
         op = def_op_of(v)
         weight = float(v.type.size_bytes)
         if op is not None:
-            for dim in dims_for_op(op):
+            for dim in dims_for_op(op, self.managed_loops):
                 weight *= self._dim_extent_estimate(dim)
         return weight
 
@@ -575,7 +587,8 @@ class CachePlanner:
         for v, r in self.plan.resolution.items():
             if r == "cache":
                 op = def_op_of(v)
-                dims = dims_for_op(op) if op is not None else []
+                dims = (dims_for_op(op, self.managed_loops)
+                        if op is not None else [])
                 self._make_slot(v, v.type, dims)
 
     def _make_slot(self, key, elem: Type, dims: list[Op]) -> CacheSlot:

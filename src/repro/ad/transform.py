@@ -128,6 +128,16 @@ class ADConfig:
     #: on error-severity findings; the report is kept on the transform
     #: (``ADTransform.comm_result``) either way.
     commcheck: object = False
+    #: Adjoint storage/recompute strategy: "cache-all" (the §IV-C
+    #: min-cut plan, default), "checkpoint" (binary checkpointing of
+    #: eligible counted time loops: O(log steps) live state), or
+    #: "implicit" (implicit-function-theorem adjoints of loops tagged
+    #: ``adjoint='implicit'``).  Per-loop ``adjoint`` attributes
+    #: override the global choice; see :mod:`repro.ad.strategy`.
+    adjoint: str = "cache-all"
+    #: Reverse Neumann-iteration count for implicit adjoints (None:
+    #: use the primal trip count).
+    implicit_iters: Optional[int] = None
 
 
 def _top_level_ancestor(op: Op) -> Op:
@@ -203,6 +213,16 @@ class ADTransform:
         self.lint_result = None              # set when config.sanitize
         self.comm_result = None              # set when config.commcheck
         self._mpi_buffers: list = []
+        # Adjoint-strategy state (repro.ad.strategy): primal loop op ->
+        # (strategy, AdjointPlan) for loops whose storage/recompute
+        # schedule is managed outside the min-cut plan.
+        self.managed: dict[Op, tuple] = {}
+        self.adjoint_report: dict = {}
+        self._ckpt: dict[Op, dict] = {}      # managed loop -> snapshot rec
+        # When set, the forward emission clones primal ops only: no
+        # shadow twins, no cache stores (checkpoint/implicit recompute
+        # segments re-run these ops later in augmented form).
+        self._primal_only = False
 
     # ==================================================================
     # Entry point
@@ -249,8 +269,11 @@ class ADTransform:
 
         self.activity = analyze_activity(self.fn, self.module, self.aliasing,
                                          duplicated, actives)
+        from .strategy import select_managed_loops
+        self.managed, self.adjoint_report = select_managed_loops(self)
         planner = CachePlanner(self.fn, self.module, self.aliasing,
-                               self.activity, cache_all=self.config.cache_all)
+                               self.activity, cache_all=self.config.cache_all,
+                               managed_loops=frozenset(self.managed))
         self.plan = planner.build()
 
         self._compute_adj_storage()
@@ -323,6 +346,11 @@ class ADTransform:
             attrs.append({})
         ret = F64 if self._active_scalar is not None else Void
         self.grad = Function(self.grad_name, args, ret, attrs)
+        # Strategy fingerprint: the compiled backend folds this into its
+        # memo/disk-cache keys so gradients generated under different
+        # adjoint strategies never share a compiled artifact.
+        from .strategy import strategy_fingerprint
+        self.grad.attrs["adjoint"] = strategy_fingerprint(self.config)
         self.module.add_function(self.grad)
 
         gi = iter(self.grad.args)
@@ -514,6 +542,7 @@ class ADTransform:
         # once in the forward sweep, read once in the reverse sweep).
         if slot.slot_id < 100_000:  # adjoint slots stay cache-resident
             buf.op.attrs["stream"] = True
+            buf.op.attrs["adcache"] = True
         self.slot_buffers[slot.slot_id] = buf
         return buf
 
@@ -592,7 +621,11 @@ class ADTransform:
             if oc == "free":
                 continue  # deferred: buffers stay alive for the reverse
             if oc in ("for", "while"):
-                self._forward_loop(op)
+                m = self.managed.get(op)
+                if m is not None:
+                    m[0].emit_forward_sweep(self, op)
+                else:
+                    self._forward_loop(op)
             elif oc == "parallel_for":
                 self._forward_parallel_region(op, ParallelForOp(
                     self._fwd_val(op.lb), self._fwd_val(op.ub),
@@ -672,6 +705,7 @@ class ADTransform:
             arr = b.alloc(total, slot.elem, space=self.config.cache_space,
                           name=f"dyn{slot.slot_id}")
             arr.op.attrs["stream"] = True
+            arr.op.attrs["adcache"] = True
             b.cache_push(self.slot_handles[slot.slot_id], arr)
             saved[slot.slot_id] = self._fwd_dyn_arrays.get(slot.slot_id)
             self._fwd_dyn_arrays[slot.slot_id] = arr
@@ -721,7 +755,7 @@ class ADTransform:
         if op.result is not None:
             self.pm[op.result] = new.result
             # Pointer-returning intrinsics get shadow twins.
-            if callee == "jl.arrayptr":
+            if callee == "jl.arrayptr" and not self._primal_only:
                 base_shadow = self._fwd_shadow_ptr(op.operands[0])
                 if base_shadow is not None:
                     tw = CallOp(callee, [base_shadow], op.result.type)
@@ -739,7 +773,7 @@ class ADTransform:
                           op.attrs["space"], name=op.result.name)
             b.emit(new)
             self.pm[op.result] = new.result
-            if self._needs_shadow_buffer(op):
+            if not self._primal_only and self._needs_shadow_buffer(op):
                 tw = AllocOp(vmap_args[0], op.result.type.elem,
                              op.attrs["space"],
                              name="d_" + (op.result.name or "buf"))
@@ -758,7 +792,8 @@ class ADTransform:
             new = PtrAddOp(vmap_args[0], vmap_args[1])
             b.emit(new)
             self.pm[op.result] = new.result
-            base_shadow = self._fwd_shadow_ptr(op.operands[0])
+            base_shadow = None if self._primal_only else \
+                self._fwd_shadow_ptr(op.operands[0])
             if base_shadow is not None:
                 tw = PtrAddOp(base_shadow, vmap_args[1])
                 b.emit(tw)
@@ -769,13 +804,14 @@ class ADTransform:
             b.emit(new)
             self.pm[op.result] = new.result
             elem = op.result.type
-            if isinstance(elem, PointerType) or elem in (Request, Task):
+            if not self._primal_only and (isinstance(elem, PointerType)
+                                          or elem in (Request, Task)):
                 base_shadow = self._fwd_shadow_ptr(op.operands[0])
                 if base_shadow is not None:
                     tw = LoadOp(base_shadow, vmap_args[1])
                     b.emit(tw)
                     self.sm[op.result] = tw.result
-            if op in self.plan.ptr_cached_loads:
+            if not self._primal_only and op in self.plan.ptr_cached_loads:
                 self._fwd_store_slot(self.plan.slots[(op, "pptr")],
                                      new.result)
                 shadow = self.sm.get(op.result, new.result)
@@ -786,8 +822,9 @@ class ADTransform:
             new = StoreOp(vmap_args[0], vmap_args[1], vmap_args[2])
             b.emit(new)
             val = op.operands[0]
-            if isinstance(val.type, PointerType) or val.type in (
-                    Request, Task):
+            if not self._primal_only and (
+                    isinstance(val.type, PointerType)
+                    or val.type in (Request, Task)):
                 base_shadow = self._fwd_shadow_ptr(op.operands[1])
                 shadow_val = self.sm.get(val)
                 if base_shadow is not None and shadow_val is not None:
@@ -822,7 +859,7 @@ class ADTransform:
         return self.sm.get(ptr)
 
     def _maybe_cache_result(self, op: Op) -> None:
-        if op.result is None:
+        if op.result is None or self._primal_only:
             return
         if self.plan.is_cached(op.result):
             slot = self.plan.slots[op.result]
@@ -891,7 +928,11 @@ class ADTransform:
                     scope, op, new.else_body, new))
             return
         if oc == "for":
-            self._reverse_for(op, scope)
+            m = self.managed.get(op)
+            if m is not None:
+                m[0].emit_reverse_sweep(self, op, scope)
+            else:
+                self._reverse_for(op, scope)
             return
         if oc == "while":
             self._reverse_while(op, scope)
@@ -1127,6 +1168,206 @@ class ADTransform:
             inner.bind(op.body.args[0], it_rev)
             self._pop_dyn_arrays(op, inner)
             self._reverse_block(op.body, inner)
+
+    # ==================================================================
+    # Managed adjoint strategies (repro.ad.strategy)
+    # ==================================================================
+    def _run_primal_only(self, block: Block) -> None:
+        """Re-emit ``block`` cloning primal ops only (no shadow twins,
+        no cache stores) — the recompute segments of checkpoint and
+        implicit adjoints."""
+        prev = self._primal_only
+        self._primal_only = True
+        try:
+            self._forward_block(block)
+        finally:
+            self._primal_only = prev
+
+    def _buflen(self, p: Value) -> Value:
+        # Emitted directly (not via builder.call) because the state
+        # pointer's element type varies per buffer.
+        cl = CallOp("rt.buflen", [p], I64)
+        self.b.emit(cl)
+        return cl.result
+
+    def _managed_trip_bounds(self, op: ForOp):
+        """(lb, ub, step, ntrips) forward values of a managed loop."""
+        b = self.b
+        lb = self._fwd_val(op.operands[0])
+        ub = self._fwd_val(op.operands[1])
+        step = self._fwd_val(op.operands[2])
+        ntrips = b.idiv(b.add(b.max(b.sub(ub, lb), 0), b.sub(step, 1)), step)
+        return lb, ub, step, ntrips
+
+    def _managed_state(self, op: ForOp, nslots: Optional[Value],
+                       name: str) -> list:
+        """Allocate snapshot storage for the loop-carried state of a
+        managed loop: ``nslots`` stacked copies of each state buffer
+        (None: a single copy).  Returns [(primal ptr, len, snap), ...]."""
+        b = self.b
+        _, plan = self.managed[op]
+        state = []
+        for v in plan.state:
+            p = self._fwd_val(v)
+            n = self._buflen(p)
+            total = n if nslots is None else b.mul(n, nslots)
+            snap = b.alloc(total, v.type.elem, space=self.config.cache_space,
+                           name=name)
+            snap.op.attrs["stream"] = True
+            snap.op.attrs["adcache"] = True
+            state.append((p, n, snap))
+        return state
+
+    def _ckpt_snapshot(self, rec: dict, slot_idx: Value) -> None:
+        b = self.b
+        for p, n, snap in rec["state"]:
+            b.memcpy(b.ptradd(snap, b.mul(slot_idx, n)), p, n)
+
+    def _ckpt_restore(self, rec: dict, slot_idx: Value) -> None:
+        b = self.b
+        for p, n, snap in rec["state"]:
+            b.memcpy(p, b.ptradd(snap, b.mul(slot_idx, n)), n)
+
+    def _ckpt_forward_loop(self, op: ForOp) -> None:
+        """Checkpointed forward sweep: snapshot the incoming state, run
+        the loop primal-only, then snapshot the final state.  Keeps
+        ``ceil(log2 N) + 2`` snapshot slots live instead of O(N)
+        per-iteration caches (the extra slot holds the final state the
+        reverse sweep restores at the end, so the primal buffers finish
+        bit-identical to the cache-all plan)."""
+        b = self.b
+        lb, ub, step, ntrips = self._managed_trip_bounds(op)
+        # nslots = ceil(log2(max(N, 1))) + 1, as a runtime value: the
+        # select chain computes nbits = position of the highest bit
+        # needed to cover N (trip counts are i64, so 62 bits suffice).
+        nbits: Value = Constant(1, I64)
+        for bit in range(62):
+            nbits = b.select(b.cmp("gt", ntrips, 1 << bit),
+                             Constant(bit + 1, I64), nbits)
+        nslots = b.add(nbits, 1)
+        # Slot `nslots` (one past the stack's peak depth) holds the
+        # final state.
+        rec = {"lb": lb, "step": step, "ntrips": ntrips, "nslots": nslots,
+               "final_slot": nslots,
+               "state": self._managed_state(op, b.add(nslots, 1), "ckpt")}
+        self._ckpt[op] = rec
+        self._ckpt_snapshot(rec, Constant(0, I64))
+        new = ForOp(lb, ub, step, ivar_name=op.body.args[0].name)
+        b.emit(new)
+        self.pm[op.body.args[0]] = new.body.args[0]
+        with b.at(new.body):
+            self._run_primal_only(op.body)
+        self._ckpt_snapshot(rec, nslots)
+
+    def _ckpt_reverse_loop(self, op: ForOp, scope: _Scope) -> None:
+        """Reverse sweep of a checkpointed loop: an iterative stack
+        machine over [lo, hi) segments (trip-index space).  Invariant:
+        the stack entry at position j has its segment-start state in
+        snapshot slot j.  A width-1 segment "youturns": restore, re-run
+        that iteration augmented (with single-iteration caching), then
+        reverse it.  A wider segment splits at its midpoint: advance the
+        primal to mid, snapshot, push [mid, hi).  Exactly 2N-1 machine
+        iterations reverse the trips in order N-1 .. 0 with O(N log N)
+        total recompute (see strategy.simulate_schedule)."""
+        b = self.b
+        rec = self._ckpt[op]
+        ntrips = rec["ntrips"]
+        lo_arr = b.alloc(rec["nslots"], I64, name="ck_lo")
+        hi_arr = b.alloc(rec["nslots"], I64, name="ck_hi")
+        sp = b.alloc(1, I64, name="ck_sp")
+        b.store(0, lo_arr, 0)
+        b.store(ntrips, hi_arr, 0)
+        b.store(1, sp, 0)
+        total = b.max(b.sub(b.mul(ntrips, 2), 1), 0)
+        machine = ForOp(Constant(0, I64), total, Constant(1, I64),
+                        ivar_name="ckm")
+        b.emit(machine)
+        with b.at(machine.body):
+            top = b.sub(b.load(sp, 0), 1)
+            lo = b.load(lo_arr, top)
+            hi = b.load(hi_arr, top)
+            iff = IfOp(b.cmp("le", b.sub(hi, lo), 1))
+            b.emit(iff)
+            with b.at(iff.then_body):
+                # Youturn: reverse the single iteration `lo` and pop.
+                self._ckpt_restore(rec, top)
+                ivar = b.add(rec["lb"], b.mul(lo, rec["step"]))
+                self.pm[op.body.args[0]] = ivar
+                self._forward_block(op.body)
+                inner = _Scope(scope, op, iff.then_body, machine)
+                inner.bind(op.body.args[0], ivar)
+                self._reverse_block(op.body, inner)
+                b.store(top, sp, 0)
+            with b.at(iff.else_body):
+                # Split: advance the primal over [lo, mid), snapshot at
+                # mid, and push the [mid, hi) segment.
+                mid = b.add(lo, b.idiv(b.sub(hi, lo), 2))
+                self._ckpt_restore(rec, top)
+                adv = ForOp(lo, mid, Constant(1, I64), ivar_name="ckj")
+                b.emit(adv)
+                with b.at(adv.body):
+                    self.pm[op.body.args[0]] = b.add(
+                        rec["lb"], b.mul(adv.body.args[0], rec["step"]))
+                    self._run_primal_only(op.body)
+                spv = b.load(sp, 0)
+                self._ckpt_snapshot(rec, spv)
+                b.store(mid, hi_arr, top)
+                b.store(mid, lo_arr, spv)
+                b.store(hi, hi_arr, spv)
+                b.store(b.add(spv, 1), sp, 0)
+        # The machine leaves the primal at iteration 0's recompute
+        # point; restore the final state so the caller-visible buffers
+        # match the cache-all plan bit for bit.
+        self._ckpt_restore(rec, rec["final_slot"])
+
+    def _implicit_forward_loop(self, op: ForOp) -> None:
+        """Implicit-adjoint forward sweep: run the fixed-point loop
+        primal-only and snapshot the *final* (converged) state once."""
+        b = self.b
+        lb, ub, step, ntrips = self._managed_trip_bounds(op)
+        rec = {"lb": lb, "step": step, "ntrips": ntrips,
+               "state": self._managed_state(op, None, "fixpt")}
+        self._ckpt[op] = rec
+        new = ForOp(lb, ub, step, ivar_name=op.body.args[0].name)
+        b.emit(new)
+        self.pm[op.body.args[0]] = new.body.args[0]
+        with b.at(new.body):
+            self._run_primal_only(op.body)
+        for p, n, snap in rec["state"]:
+            b.memcpy(snap, p, n)
+        # The reverse Neumann rounds re-run the body as the *last*
+        # primal iteration (any index works at a true fixed point; the
+        # last one makes implicit_iters = N match unrolling exactly).
+        rec["last_ivar"] = b.add(
+            lb, b.mul(b.max(b.sub(ntrips, 1), 0), step))
+
+    def _implicit_reverse_loop(self, op: ForOp, scope: _Scope) -> None:
+        """Implicit-function-theorem reverse sweep: iterate the adjoint
+        map at the frozen fixed point.  Each round restores the
+        converged state, re-runs one augmented body step, and reverses
+        it — the shadow state becomes (J^T)^k x̄ while parameter
+        adjoints accumulate Σ_k (∂f/∂θ)^T (J^T)^k x̄, the Neumann series
+        of (I - J^T)^{-1} x̄."""
+        b = self.b
+        rec = self._ckpt[op]
+        iters = self.config.implicit_iters
+        count = Constant(iters, I64) if iters is not None else rec["ntrips"]
+        new = ForOp(Constant(0, I64), count, Constant(1, I64),
+                    ivar_name="nk")
+        b.emit(new)
+        with b.at(new.body):
+            for p, n, snap in rec["state"]:
+                b.memcpy(p, snap, n)
+            ivar = rec["last_ivar"]
+            self.pm[op.body.args[0]] = ivar
+            self._forward_block(op.body)
+            inner = _Scope(scope, op, new.body, new)
+            inner.bind(op.body.args[0], ivar)
+            self._reverse_block(op.body, inner)
+        # Leave the primal at the converged state (each round advanced
+        # it one step past the snapshot).
+        for p, n, snap in rec["state"]:
+            b.memcpy(p, snap, n)
 
     def _pop_dyn_arrays(self, anchor: Op, scope: _Scope) -> None:
         b = self.b

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ...ad import ADConfig, Duplicated, autodiff
+from ...ad import ADConfig, Duplicated, autodiff_transform
 from ...baselines.codipack import CoDiPackTape
 from ...interp import ExecConfig, Executor
 from ...parallel.mpi import SimMPI
@@ -66,7 +66,8 @@ class LuleshApp:
                  machine: Optional[MachineModel] = None,
                  sanitize: bool = False, backend: str = "interp",
                  fusion: bool = True,
-                 compile_cache: Optional[str] = None) -> None:
+                 compile_cache: Optional[str] = None,
+                 adjoint: Optional[str] = None) -> None:
         if flavor not in FLAVORS:
             raise ValueError(f"unknown flavor {flavor!r}; "
                              f"choose from {sorted(FLAVORS)}")
@@ -75,8 +76,17 @@ class LuleshApp:
         self.pr = pr
         self.params = params
         self.machine = machine or c6i_metal()
-        self.module, self.fn = build_lulesh(flavor, nx, pr, params)
+        # The adjoint strategy rides on the time loop as a per-region
+        # tag (so cache-all stays the global default for everything
+        # else) and on ADConfig for fingerprinting.
+        self.adjoint = adjoint
+        self.module, self.fn = build_lulesh(
+            flavor, nx, pr, params,
+            time_loop_adjoint=adjoint if adjoint not in (None, "cache-all")
+            else None)
         self.ad_config = ad_config or ADConfig()
+        if adjoint is not None:
+            self.ad_config.adjoint = adjoint
         if self.flavor.style == "julia":
             self.ad_config.cache_space = "gc"
         #: Run every execution under the dynamic race checker.
@@ -89,6 +99,12 @@ class LuleshApp:
         #: Backend counters from the most recent single-rank run
         #: (None for MPI flavors or the interp backend).
         self.last_compile_stats: Optional[dict] = None
+        #: Managed-loop / fallback report from the AD run (set by
+        #: grad_fn; see repro.ad.strategy.select_managed_loops).
+        self.adjoint_report: Optional[dict] = None
+        #: Peak/live AD-cache bytes of the most recent single-rank
+        #: gradient run.
+        self.last_adjoint_stats: Optional[dict] = None
         self._grad: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -114,8 +130,10 @@ class LuleshApp:
 
     def grad_fn(self) -> str:
         if self._grad is None:
-            self._grad = autodiff(self.module, self.fn,
-                                  gradient_activities(), self.ad_config)
+            tr = autodiff_transform(self.module, self.fn,
+                                    gradient_activities(), self.ad_config)
+            self._grad = tr.grad_name
+            self.adjoint_report = tr.adjoint_report
         return self._grad
 
     def _config(self, num_threads: int) -> ExecConfig:
@@ -156,6 +174,7 @@ class LuleshApp:
         ex = Executor(self.module, self._config(num_threads))
         ex.run(grad, *domain_args(domains[0], steps, shadows[0]))
         self.last_compile_stats = ex.compile_stats()
+        self.last_adjoint_stats = ex.adjoint_stats()
         return RunResult(ex.clock, [ex.clock], ex.cost)
 
     # ------------------------------------------------------------------
@@ -271,3 +290,67 @@ class LuleshApp:
         rev = sum(float(sum(sh[f].sum() for f in wrt))
                   for sh in shadows)
         return rev, fd
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI: run one LULESH variant forward and/or as a gradient.
+
+    ``--adjoint`` selects the time-loop adjoint strategy; the JSON
+    report includes the strategy report (managed loops and cache-all
+    fallbacks with reasons) plus peak AD-cache bytes, the numbers the
+    ``summarize --adjoint-report`` renderer consumes.
+    """
+    import argparse
+    import json
+    import sys
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.apps.lulesh.driver",
+        description="Run a LULESH variant (forward and gradient).")
+    ap.add_argument("--flavor", default="serial", choices=sorted(FLAVORS))
+    ap.add_argument("--nx", type=int, default=3, help="elements per edge")
+    ap.add_argument("--pr", type=int, default=1, help="ranks per edge "
+                    "(MPI flavors)")
+    ap.add_argument("--steps", type=int, default=8,
+                    help="time-loop steps")
+    ap.add_argument("--adjoint", default=None,
+                    choices=["cache-all", "checkpoint", "implicit"],
+                    help="adjoint strategy for the time loop "
+                         "(default: the engine's cache-all plan)")
+    ap.add_argument("--backend", default="interp",
+                    choices=["interp", "compiled"])
+    ap.add_argument("--threads", type=int, default=1)
+    ap.add_argument("--forward-only", action="store_true",
+                    help="skip the gradient run")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the raw report as JSON")
+    args = ap.parse_args(argv)
+
+    app = LuleshApp(args.flavor, args.nx, pr=args.pr,
+                    backend=args.backend, adjoint=args.adjoint)
+    doms = app.make_domains()
+    fwd = app.run_forward(doms, args.steps, args.threads)
+    report = {
+        "flavor": args.flavor, "nx": args.nx, "steps": args.steps,
+        "backend": args.backend, "adjoint": args.adjoint or "cache-all",
+        "forward_time": fwd.time,
+        "final": app.final_report(doms),
+    }
+    if not args.forward_only:
+        doms = app.make_domains()
+        grad = app.run_gradient(doms, args.steps, args.threads)
+        report["gradient_time"] = grad.time
+        report["overhead"] = grad.time / fwd.time if fwd.time else None
+        report["adjoint_report"] = app.adjoint_report
+        report["adjoint_stats"] = app.last_adjoint_stats
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for k, v in report.items():
+            print(f"{k}: {v}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

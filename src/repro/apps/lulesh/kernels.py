@@ -170,12 +170,18 @@ def _gather_corners(b, g, nodelist, e, fields):
 
 def build_lulesh(flavor_name: str, nx: int, pr: int = 1,
                  params: LuleshParams = DEFAULT_PARAMS,
-                 module: Optional[Module] = None) -> tuple[Module, str]:
+                 module: Optional[Module] = None,
+                 time_loop_adjoint: Optional[str] = None
+                 ) -> tuple[Module, str]:
     """Emit the flavor's time loop; returns (module, function name).
 
     The function signature is ``(``all float fields``, ``int fields``,
     ``mask fields``, steps)`` in the order of
     :data:`repro.apps.lulesh.mesh.ALL_FIELDS`.
+
+    ``time_loop_adjoint`` tags the time loop with a per-region adjoint
+    strategy (``"checkpoint"`` / ``"implicit"`` / ``"cache-all"``); None
+    leaves the choice to ``ADConfig.adjoint``.
     """
     fl = FLAVORS[flavor_name]
     p = params
@@ -217,7 +223,7 @@ def build_lulesh(flavor_name: str, nx: int, pr: int = 1,
             ry = (rank // pr) % pr
             rz = rank // (pr * pr)
 
-        with b.for_(0, steps, name="s") as s:
+        with b.for_(0, steps, name="s", adjoint=time_loop_adjoint) as s:
             ts = A[TIME_FIELD]
             # ---------------- time increment -------------------------
             dt_cell = b.alloc(1, name="dt_new")

@@ -413,11 +413,15 @@ def _al(rt, op, count_val):
                               thread_local_of=rt.current_thread)
         ptr = PtrVal(ptr.buffer, np.arange(w, dtype=np.int64) * count)
         ptr.buffer.stream = stream
+        if op.attrs.get("adcache"):
+            rt.memory.note_adcache(ptr.buffer)
         rt.cost.alloc_bytes += count * w * elem.size_bytes
     else:
         ptr = rt.memory.alloc(count, elem, space, name=op.result.name,
                               thread_local_of=rt.current_thread)
         ptr.buffer.stream = stream
+        if op.attrs.get("adcache"):
+            rt.memory.note_adcache(ptr.buffer)
         rt.cost.alloc_bytes += count * elem.size_bytes
         if space == "gc":
             rt.cost.add_stream(count * elem.size_bytes)
@@ -605,13 +609,20 @@ class CompiledBackend:
     # -- compile cache -------------------------------------------------
     def get_compiled(self, fn: Function):
         """Compiled code for ``fn``, or None if it is interpreter-only."""
-        key = (self.fusion, self.fingerprint)
+        # Gradients stamp the adjoint-strategy fingerprint on the
+        # function; folding it into the key keeps artifacts generated
+        # under different strategies from ever sharing a cache entry.
+        fingerprint = self.fingerprint
+        adjoint = fn.attrs.get("adjoint")
+        if adjoint:
+            fingerprint = f"{fingerprint}|adjoint={adjoint}"
+        key = (self.fusion, fingerprint)
         cached = getattr(fn, _CACHE_ATTR, None)
         if cached is None or getattr(fn, _CACHE_KEY_ATTR, None) != key:
             try:
                 cached = compile_function(fn, fusion=self.fusion,
                                           cache=self.cache,
-                                          fingerprint=self.fingerprint)
+                                          fingerprint=fingerprint)
             except LoweringError as e:
                 if self.strict:
                     raise

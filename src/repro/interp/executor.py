@@ -78,6 +78,13 @@ class Executor:
         be = self.interp.backend
         return be.compile_stats() if be is not None else None
 
+    def adjoint_stats(self) -> dict:
+        """Peak / live bytes of AD primal-state storage (value caches,
+        checkpoint snapshots) observed by this executor's memory."""
+        mem = self.interp.memory
+        return {"peak_cached_bytes": mem.adcache_peak,
+                "cached_bytes": mem.adcache_bytes}
+
     def reset_clock(self) -> None:
         self.interp.clock = 0.0
         from ..perf.cost import CostVector

@@ -548,6 +548,8 @@ class Interpreter:
             ptr = PtrVal(ptr.buffer,
                          np.arange(w, dtype=np.int64) * count)
             ptr.buffer.stream = stream
+            if op.attrs.get("adcache"):
+                self.memory.note_adcache(ptr.buffer)
             self.cost.alloc_bytes += count * w * \
                 op.result.type.elem.size_bytes
         else:
@@ -555,6 +557,8 @@ class Interpreter:
                                     name=op.result.name,
                                     thread_local_of=self.current_thread)
             ptr.buffer.stream = stream
+            if op.attrs.get("adcache"):
+                self.memory.note_adcache(ptr.buffer)
             self.cost.alloc_bytes += count * op.result.type.elem.size_bytes
             if space == "gc":
                 # Julia GC allocations are zero-filled: pay the fill
@@ -925,6 +929,12 @@ def _h_arrayptr(interp, op, args):
     return PtrVal(p.buffer, p.offset, raw=True)
 
 
+def _h_buflen(interp, op, args):
+    p: PtrVal = args[0]
+    off = int(np.min(np.asarray(p.offset)))
+    return p.buffer.count - off
+
+
 def _h_preserve_begin(interp, op, args):
     return interp.memory.preserve_begin(list(args))
 
@@ -976,6 +986,7 @@ _SIMPLE_INTRINSICS = {
     "mpi.comm_rank": _h_comm_rank,
     "mpi.comm_size": _h_comm_size,
     "rt.num_threads": _h_num_threads,
+    "rt.buflen": _h_buflen,
     "rt.assert_ge": _h_assert_ge,
     "jl.arrayptr": _h_arrayptr,
     "jl.gc_preserve_begin": _h_preserve_begin,

@@ -81,7 +81,7 @@ class Buffer:
     """A contiguous allocation of ``count`` slots of one element type."""
 
     __slots__ = ("bid", "elem", "data", "space", "freed", "name",
-                 "thread_local_of", "stream", "shadow_meta")
+                 "thread_local_of", "stream", "adcache", "shadow_meta")
 
     def __init__(self, count: int, elem: Type, space: str = "stack",
                  name: str = "", data: Optional[np.ndarray] = None) -> None:
@@ -101,6 +101,9 @@ class Buffer:
         #: Streaming buffer (AD value cache): accesses bypass the cache
         #: hierarchy in the performance model.
         self.stream = False
+        #: AD primal-state storage (value caches / checkpoint snapshots);
+        #: tracked by Memory.adcache_bytes for peak-memory reporting.
+        self.adcache = False
         #: Thread id if this buffer was allocated inside a parallel
         #: region (then it is thread-local by construction).
         self.thread_local_of: Optional[int] = None
@@ -204,6 +207,17 @@ class Memory:
         self._arg_roots: set[int] = set()
         self.gc_collections = 0
         self.gc_freed = 0
+        #: Live / peak bytes of AD primal-state storage (buffers whose
+        #: alloc op carries the ``adcache`` attribute).
+        self.adcache_bytes = 0
+        self.adcache_peak = 0
+
+    def note_adcache(self, buf: Buffer) -> None:
+        """Mark ``buf`` as AD cache storage and update the peak."""
+        buf.adcache = True
+        self.adcache_bytes += buf.count * buf.elem.size_bytes
+        if self.adcache_bytes > self.adcache_peak:
+            self.adcache_peak = self.adcache_bytes
 
     # ------------------------------------------------------------------
     def alloc(self, count: int, elem: Type, space: str, name: str = "",
@@ -230,6 +244,8 @@ class Memory:
         if (np.ndim(ptr.offset) == 0 and int(np.asarray(ptr.offset)) != 0):
             raise InterpreterError("free of interior pointer")
         buf.freed = True
+        if buf.adcache:
+            self.adcache_bytes -= buf.count * buf.elem.size_bytes
 
     # ------------------------------------------------------------------
     # GC (Julia frontend model)
@@ -269,6 +285,8 @@ class Memory:
             if buf.space == "gc" and not buf.freed and buf.bid not in reachable:
                 buf.freed = True
                 self.gc_freed += 1
+                if buf.adcache:
+                    self.adcache_bytes -= buf.count * buf.elem.size_bytes
 
     # ------------------------------------------------------------------
     # Access helpers (bounds-checked)

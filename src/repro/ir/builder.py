@@ -333,9 +333,12 @@ class IRBuilder:
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def for_(self, lb: Number, ub: Number, step: Number = 1,
-             simd: bool = False, name: str = "i"):
+             simd: bool = False, name: str = "i",
+             adjoint: Optional[str] = None):
         op = ForOp(self._coerce(lb, I64), self._coerce(ub, I64),
                    self._coerce(step, I64), simd=simd, ivar_name=name)
+        if adjoint is not None:
+            op.attrs["adjoint"] = adjoint
         self.emit(op)
         with self.at(op.body):
             yield op.ivar

@@ -355,12 +355,13 @@ class _Parser:
             return op
         m = re.match(
             r"(for|workshare_for)( simd)?( reversed)? (%\S+) in "
-            r"\[(.+), (.+)\) step (.+) \{$", ln)
+            r"\[(.+), (.+)\) step (\S+)(\s*\{[^{]*\})? \{$", ln)
         if m:
-            kind, simd, _rev, iv, lb, ub, step = m.groups()
+            kind, simd, _rev, iv, lb, ub, step, attrs = m.groups()
             op = ForOp(self._val(lb), self._val(ub), self._val(step),
                        workshare=(kind == "workshare_for"),
                        simd=bool(simd), ivar_name=iv.lstrip("%"))
+            op.attrs.update(_parse_attrs((attrs or "").strip()))
             block.append(op)
             self._define(iv, op.ivar)
             self._parse_block_into(op.body)

@@ -131,9 +131,13 @@ def _print_block(block: Block, out, namer: _Namer, indent: int) -> None:
         elif oc == "for":
             kind = "workshare_for" if op.attrs.get("workshare") else "for"
             simd = " simd" if op.attrs.get("simd") else ""
+            # Only the adjoint-strategy tag is printed (round-trips via
+            # the parser); other loop attrs stay internal.
+            adjoint = op.attrs.get("adjoint")
+            tag = f" {{adjoint={adjoint!r}}}" if adjoint else ""
             out.write(f"{pad}{kind}{simd} {namer.name(op.body.args[0])} in "
                       f"[{n(op.operands[0])}, {n(op.operands[1])}) "
-                      f"step {n(op.operands[2])} {{\n")
+                      f"step {n(op.operands[2])}{tag} {{\n")
             _print_block(op.regions[0], out, namer, indent + 1)
             out.write(f"{pad}}}\n")
         elif oc == "parallel_for":

@@ -117,6 +117,15 @@ def _check_placement(op: Op, index: int, block: Block,
     if oc == "for" and op.attrs.get("workshare"):
         if "fork" not in context:
             raise _err(fn, op, "workshare loop outside a fork region")
+    if oc == "for" and op.attrs.get("adjoint") is not None:
+        from ..ad.strategy import STRATEGY_NAMES
+        tag = op.attrs["adjoint"]
+        if tag not in STRATEGY_NAMES:
+            raise _err(fn, op, f"unknown adjoint strategy {tag!r}; "
+                               f"expected one of {STRATEGY_NAMES}")
+        if op.attrs.get("workshare") or op.attrs.get("simd"):
+            raise _err(fn, op, "adjoint strategy tags apply only to "
+                               "serial counted loops")
     if oc in ("parallel_for", "fork"):
         # No nested thread parallelism inside parallel regions (the
         # paper's runtimes do not nest either); spawn regions may not

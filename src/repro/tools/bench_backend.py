@@ -74,9 +74,10 @@ def _backend_summary(stats) -> dict | None:
 
 def _run_lulesh(backend: str, flavor: str, nx: int, steps: int,
                 num_threads: int = 1, reps: int = 1,
-                fusion: bool = True, cache_dir=None) -> dict:
+                fusion: bool = True, cache_dir=None,
+                adjoint=None) -> dict:
     app = LuleshApp(flavor, nx, backend=backend, fusion=fusion,
-                    compile_cache=cache_dir)
+                    compile_cache=cache_dir, adjoint=adjoint)
     app.grad_fn()  # build the derivative outside the timed region
 
     def one_run():
@@ -101,7 +102,8 @@ def _run_lulesh(backend: str, flavor: str, nx: int, steps: int,
                              for d in doms for f in sorted(d.arrays)])
     return {"seconds": best, "grads": grads, "primal": primal,
             "clock": res.time, "cost": res.cost.as_dict(),
-            "backend_stats": stats}
+            "backend_stats": stats,
+            "adjoint_stats": app.last_adjoint_stats}
 
 
 def _run_minibude(backend: str, variant: str, num_threads: int = 1,
@@ -130,8 +132,13 @@ def _run_minibude(backend: str, variant: str, num_threads: int = 1,
 
 
 def run_case(name: str, kind: str, headline: bool, kwargs: dict,
-             reps: int, fusion: bool = True, cache_dir=None) -> dict:
+             reps: int, fusion: bool = True, cache_dir=None,
+             adjoint=None) -> dict:
     runner = _run_lulesh if kind == "lulesh" else _run_minibude
+    if adjoint and kind == "lulesh":
+        # The strategy tags the LULESH time loop; miniBUDE has no
+        # counted time loop, so its cases keep the cache-all plan.
+        kwargs = dict(kwargs, adjoint=adjoint)
     interp = runner("interp", reps=reps, **kwargs)
     compiled = runner("compiled", reps=reps, fusion=fusion,
                       cache_dir=cache_dir, **kwargs)
@@ -147,6 +154,8 @@ def run_case(name: str, kind: str, headline: bool, kwargs: dict,
         "clock_match": interp["clock"] == compiled["clock"],
         "cost_match": interp["cost"] == compiled["cost"],
         "backend": compiled["backend_stats"],
+        "adjoint": adjoint if kind == "lulesh" else None,
+        "adjoint_stats": compiled.get("adjoint_stats"),
     }
 
 
@@ -167,6 +176,10 @@ def main(argv=None) -> int:
                          "compiled backend (unset: defer to the "
                          "REPRO_CACHE_DIR environment variable; no "
                          "caching when that is unset too)")
+    ap.add_argument("--adjoint", default=None,
+                    choices=["cache-all", "checkpoint", "implicit"],
+                    help="adjoint strategy for the LULESH time loop "
+                         "(default: the engine's cache-all plan)")
     args = ap.parse_args(argv)
 
     cases = _SMOKE_CASES if args.smoke else _FULL_CASES
@@ -174,7 +187,8 @@ def main(argv=None) -> int:
     for name, kind, headline, kwargs in cases:
         row = run_case(name, kind, headline, kwargs, args.reps,
                        fusion=not args.no_fusion,
-                       cache_dir=args.cache_dir)
+                       cache_dir=args.cache_dir,
+                       adjoint=args.adjoint)
         rows.append(row)
         be = row["backend"] or {}
         cache = be.get("cache")
@@ -183,6 +197,9 @@ def main(argv=None) -> int:
         if cache:
             extra += (f" cache[h={cache['hits']} m={cache['misses']} "
                       f"s={cache['stores']}]")
+        if row.get("adjoint") and row.get("adjoint_stats"):
+            extra += (f" adjoint={row['adjoint']} "
+                      f"peak={row['adjoint_stats']['peak_cached_bytes']}B")
         print(f"{row['case']:24s} interp={row['interp_seconds']:8.3f}s "
               f"compiled={row['compiled_seconds']:8.3f}s "
               f"speedup={row['speedup']:5.2f}x "
@@ -195,6 +212,7 @@ def main(argv=None) -> int:
         "tool": "backend-bench",
         "mode": "smoke" if args.smoke else "full",
         "reps": args.reps,
+        "adjoint": args.adjoint,
         "rows": rows,
         "speedup": round(float(np.exp(np.mean(
             np.log(headline_speedups)))), 2),

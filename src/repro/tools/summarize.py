@@ -162,8 +162,38 @@ def render_comm_report(payload: dict) -> str:
     return text
 
 
+def render_adjoint_report(payload: dict) -> str:
+    """Render an adjoint-strategy report: the per-loop managed/fallback
+    table plus peak AD-cache bytes, from a gradient-run JSON (the
+    ``python -m repro.apps.lulesh.driver --json`` output, or any dict
+    with ``adjoint_report``/``adjoint_stats`` keys)."""
+    rep = payload.get("adjoint_report")
+    if rep is None:
+        raise ValueError("no 'adjoint_report' in payload; expected "
+                         "`python -m repro.apps.lulesh.driver --json` "
+                         "output from a gradient run")
+    stats = payload.get("adjoint_stats") or {}
+    where = payload.get("flavor") or payload.get("fn") or "?"
+    title = (f"adjoint strategy {rep.get('strategy', '?')!r} @{where} "
+             f"steps={payload.get('steps', '?')}: "
+             f"{len(rep.get('managed', []))} managed loop(s), "
+             f"{len(rep.get('fallbacks', []))} fallback(s), "
+             f"peak cached {stats.get('peak_cached_bytes', '?')} bytes")
+    rows = ([{"loop": m["loop"], "strategy": m["strategy"], "note": ""}
+             for m in rep.get("managed", [])] +
+            [{"loop": f["loop"],
+              "strategy": f"{f['strategy']} -> cache-all",
+              "note": f.get("reason", "")}
+             for f in rep.get("fallbacks", [])])
+    if not rows:
+        return f"== {title} ==\nno managed loops (cache-all everywhere)\n"
+    cols = list(rows[0].keys())
+    return format_table(title, cols,
+                        [[r.get(c) for c in cols] for r in rows])
+
+
 #: dest -> (renderer, help) for the report-file options shared by the
-#: sanitizer, backend-bench, and commcheck render paths.
+#: sanitizer, backend-bench, commcheck, and adjoint render paths.
 _REPORT_KINDS = {
     "sanitize_report": (render_sanitize_report,
                         "render a sanitizer JSON report (lint or "
@@ -175,6 +205,10 @@ _REPORT_KINDS = {
     "comm_report": (render_comm_report,
                     "render a commcheck JSON report (CommReport or "
                     "mpi_lint --out output); repeatable"),
+    "adjoint_report": (render_adjoint_report,
+                       "render an adjoint-strategy report (lulesh "
+                       "driver --json gradient output): managed loops, "
+                       "fallbacks, peak cached bytes; repeatable"),
 }
 
 

@@ -105,6 +105,58 @@ def test_ad_config_change_is_a_miss(tmp_path):
     assert cache.load(src_a, fp) is not None
 
 
+def test_adjoint_strategy_change_is_a_miss(tmp_path):
+    """ADConfig.adjoint reaches the key two ways: the generated IR
+    differs (source), and the gradient function carries the strategy
+    fingerprint in ``attrs['adjoint']``, which CompiledBackend folds
+    into the ExecConfig fingerprint — so strategies can never share a
+    cache entry even if their lowered source ever coincided."""
+    from repro.ad.strategy import strategy_fingerprint
+
+    def loop_module():
+        b = IRBuilder()
+        with b.function("f", [("x", Ptr()), ("n", I64),
+                              ("steps", I64)]) as f:
+            x, n, steps = f.args
+            with b.for_(0, steps, name="s"):
+                with b.for_(0, n, name="i") as i:
+                    v = b.load(x, i)
+                    b.store(b.mul(v, v), x, i)
+        verify_module(b.module)
+        return b.module
+
+    cache = CompileCache(str(tmp_path))
+    base_fp = config_fingerprint(ExecConfig())
+    sources, fps = [], []
+    for cfg in (ADConfig(), ADConfig(adjoint="checkpoint")):
+        mod = loop_module()
+        grad = autodiff(mod, "f", [Duplicated, None, None], cfg)
+        fn = mod.functions[grad]
+        assert fn.attrs["adjoint"] == strategy_fingerprint(cfg)
+        sources.append(_lowered_source(mod, grad))
+        # The fold CompiledBackend.get_compiled applies:
+        fps.append(f"{base_fp}|adjoint={fn.attrs['adjoint']}")
+    src_a, src_b = sources
+    fp_a, fp_b = fps
+    assert src_a != src_b                      # IR-level separation
+    assert fp_a != fp_b                        # fingerprint separation
+    assert cache.key(src_a, fp_a) != cache.key(src_a, fp_b)
+    cache.store(src_a, fp_a, compile(src_a, "<t>", "exec"))
+    assert cache.load(src_a, fp_b) is None
+    assert cache.load(src_a, fp_a) is not None
+
+
+def test_implicit_iters_changes_fingerprint():
+    """implicit_iters changes generated code (the Neumann round count),
+    so it must show up in the strategy fingerprint."""
+    from repro.ad.strategy import strategy_fingerprint
+
+    assert strategy_fingerprint(ADConfig(adjoint="implicit")) != \
+        strategy_fingerprint(ADConfig(adjoint="implicit", implicit_iters=8))
+    assert strategy_fingerprint(ADConfig()) != \
+        strategy_fingerprint(ADConfig(adjoint="checkpoint"))
+
+
 def test_fusion_flag_changes_source_and_key(tmp_path):
     cache = CompileCache(str(tmp_path))
     fp = config_fingerprint(ExecConfig())
