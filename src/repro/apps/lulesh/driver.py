@@ -67,7 +67,8 @@ class LuleshApp:
                  sanitize: bool = False, backend: str = "interp",
                  fusion: bool = True,
                  compile_cache: Optional[str] = None,
-                 adjoint: Optional[str] = None) -> None:
+                 adjoint: Optional[str] = None,
+                 cc: Optional[str] = None) -> None:
         if flavor not in FLAVORS:
             raise ValueError(f"unknown flavor {flavor!r}; "
                              f"choose from {sorted(FLAVORS)}")
@@ -91,11 +92,13 @@ class LuleshApp:
             self.ad_config.cache_space = "gc"
         #: Run every execution under the dynamic race checker.
         self.sanitize = sanitize
-        #: "interp" or "compiled" (see ExecConfig.backend).
+        #: "interp", "compiled" or "native" (see ExecConfig.backend).
         self.backend = backend
-        #: Trace fusion / persistent compile cache (compiled backend).
+        #: Trace fusion / persistent compile cache / C compiler
+        #: (compiled + native backends).
         self.fusion = fusion
         self.compile_cache = compile_cache
+        self.cc = cc
         #: Backend counters from the most recent single-rank run
         #: (None for MPI flavors or the interp backend).
         self.last_compile_stats: Optional[dict] = None
@@ -141,7 +144,7 @@ class LuleshApp:
         return ExecConfig(num_threads=num_threads, machine=self.machine,
                           mpi_impl=impl, sanitize=self.sanitize,
                           backend=self.backend, fusion=self.fusion,
-                          compile_cache=self.compile_cache)
+                          compile_cache=self.compile_cache, cc=self.cc)
 
     # ------------------------------------------------------------------
     def run_forward(self, domains: list[Domain], steps: int,
@@ -318,7 +321,10 @@ def main(argv: Optional[list] = None) -> int:
                     help="adjoint strategy for the time loop "
                          "(default: the engine's cache-all plan)")
     ap.add_argument("--backend", default="interp",
-                    choices=["interp", "compiled"])
+                    choices=["interp", "compiled", "native"])
+    ap.add_argument("--cc", default=None,
+                    help="C compiler for --backend native (default: $CC, "
+                         "then cc/gcc/clang)")
     ap.add_argument("--threads", type=int, default=1)
     ap.add_argument("--forward-only", action="store_true",
                     help="skip the gradient run")
@@ -327,7 +333,8 @@ def main(argv: Optional[list] = None) -> int:
     args = ap.parse_args(argv)
 
     app = LuleshApp(args.flavor, args.nx, pr=args.pr,
-                    backend=args.backend, adjoint=args.adjoint)
+                    backend=args.backend, adjoint=args.adjoint,
+                    cc=args.cc)
     doms = app.make_domains()
     fwd = app.run_forward(doms, args.steps, args.threads)
     report = {

@@ -32,7 +32,8 @@ class MinibudeApp:
                  sanitize: bool = False, backend: str = "interp",
                  fusion: bool = True,
                  compile_cache: Optional[str] = None,
-                 nprocs: int = 4) -> None:
+                 nprocs: int = 4,
+                 cc: Optional[str] = None) -> None:
         self.variant = variant
         self.deck = deck or make_deck()
         #: Simulated communicator size (mpi variant only).
@@ -46,11 +47,13 @@ class MinibudeApp:
             self.ad_config.cache_space = "gc"
         #: Run every execution under the dynamic race checker.
         self.sanitize = sanitize
-        #: "interp" or "compiled" (see ExecConfig.backend).
+        #: "interp", "compiled" or "native" (see ExecConfig.backend).
         self.backend = backend
-        #: Trace fusion / persistent compile cache (compiled backend).
+        #: Trace fusion / persistent compile cache / C compiler
+        #: (compiled + native backends).
         self.fusion = fusion
         self.compile_cache = compile_cache
+        self.cc = cc
         #: Backend counters from the most recent single-rank run
         #: (None for the mpi variant or the interp backend).
         self.last_compile_stats: Optional[dict] = None
@@ -68,7 +71,7 @@ class MinibudeApp:
         return ExecConfig(num_threads=num_threads, machine=self.machine,
                           sanitize=self.sanitize, backend=self.backend,
                           fusion=self.fusion,
-                          compile_cache=self.compile_cache)
+                          compile_cache=self.compile_cache, cc=self.cc)
 
     def _args(self) -> tuple[dict, tuple]:
         flat = self.deck.flat_args()

@@ -13,6 +13,13 @@ from .executor import Executor, run_function
 from .fusion import FusionStats
 from .interpreter import ExecConfig, Interpreter, TaskScheduler, chunk_bounds
 from .lowering import Lowerer, LoweringError, lower_function
+from .native import (
+    NativeBackend,
+    NativeBuildError,
+    NativeStats,
+    Toolchain,
+    probe_toolchain,
+)
 from .memory import (
     Buffer,
     DynCache,
@@ -31,6 +38,8 @@ __all__ = [
     "CompileCache", "config_fingerprint", "resolve_cache_dir",
     "FusionStats",
     "Lowerer", "LoweringError", "lower_function",
+    "NativeBackend", "NativeBuildError", "NativeStats", "Toolchain",
+    "probe_toolchain",
     "Buffer", "DynCache", "InterpreterError", "Memory", "PtrVal",
     "TaskVal", "TokenVal",
 ]

@@ -558,7 +558,7 @@ _HELPER_GLOBALS = {
 # ---------------------------------------------------------------------------
 
 def compile_function(fn: Function, fusion: bool = True, cache=None,
-                     fingerprint: str = ""):
+                     fingerprint: str = "", native=None):
     """Lower + compile ``fn``; returns a generator function
     ``code(rt, *args)`` or raises :class:`LoweringError`.
 
@@ -567,8 +567,15 @@ def compile_function(fn: Function, fusion: bool = True, cache=None,
     table deterministically), but the CPython ``compile()`` step is
     skipped when the cache holds a code object for this exact lowered
     source + ``fingerprint``.
+
+    ``native`` is an optional :class:`~repro.interp.native.
+    NativeEmitter`: the lowering then routes claimable kernels through
+    C functions whose bindings ``native.build()`` injects into the
+    generated code's globals (may raise ``NativeBuildError``).  The
+    lowered *source* differs from the plain-NumPy lowering, so native
+    and plain artifacts never share a marshal-cache entry.
     """
-    source, consts, stats = lower_function(fn, fusion=fusion)
+    source, consts, stats = lower_function(fn, fusion=fusion, native=native)
     code_obj = cache.load(source, fingerprint) if cache is not None else None
     if code_obj is None:
         try:
@@ -581,11 +588,14 @@ def compile_function(fn: Function, fusion: bool = True, cache=None,
             cache.store(source, fingerprint, code_obj)
     globs = dict(_HELPER_GLOBALS)
     globs.update(consts)
+    if native is not None:
+        globs.update(native.build(cache))
     exec(code_obj, globs)
     code = globs["_compiled"]
     code.__name__ = f"_compiled_{fn.name}"
     code.__lowered_source__ = source
     code.__fusion_stats__ = stats
+    code.__native_stats__ = native.stats if native is not None else None
     return code
 
 
@@ -620,9 +630,7 @@ class CompiledBackend:
         cached = getattr(fn, _CACHE_ATTR, None)
         if cached is None or getattr(fn, _CACHE_KEY_ATTR, None) != key:
             try:
-                cached = compile_function(fn, fusion=self.fusion,
-                                          cache=self.cache,
-                                          fingerprint=fingerprint)
+                cached = self._compile(fn, fingerprint)
             except LoweringError as e:
                 if self.strict:
                     raise
@@ -640,6 +648,12 @@ class CompiledBackend:
             # compile_stats reflects every function this backend ran.
             self.compiled_functions[fn.name] = cached.__fusion_stats__
         return cached or None
+
+    def _compile(self, fn: Function, fingerprint: str):
+        """One function's compile step (the native backend overrides
+        this to layer the C-kernel emitter on the same lowering)."""
+        return compile_function(fn, fusion=self.fusion, cache=self.cache,
+                                fingerprint=fingerprint)
 
     # -- reporting -----------------------------------------------------
     def compile_stats(self) -> dict:

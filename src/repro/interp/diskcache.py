@@ -51,9 +51,15 @@ from .fusion import LOWERING_VERSION
 #: Bump when the on-disk entry layout changes.
 FORMAT_VERSION = 1
 
+#: Bump when the native .so entry layout changes.
+NATIVE_FORMAT_VERSION = 1
+
 #: Subdirectory under the user-chosen root, so a shared cache dir can
 #: hold unrelated artifact families without collisions.
 _SUBDIR = "compiled-ir"
+
+#: Sibling subdirectory holding compiled native kernel libraries.
+_NATIVE_SUBDIR = "native-so"
 
 
 def _py_tag() -> str:
@@ -105,6 +111,7 @@ class CompileCache:
 
     def __init__(self, root: str) -> None:
         self.root = os.path.join(root, _SUBDIR)
+        self.native_root = os.path.join(root, _NATIVE_SUBDIR)
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -179,6 +186,94 @@ class CompileCache:
         except OSError:
             return
         self.stores += 1
+
+    # -- native kernel libraries ---------------------------------------
+    # Compiled .so blobs for the native backend live beside the marshal
+    # entries under ``native-so/``, keyed by the emitted C source + the
+    # probed compiler identity (compiler + version + flags): a compiler
+    # upgrade changes every key, so stale machine code is never served.
+    # Each entry is ``<key>.so`` plus ``<key>.json`` metadata carrying
+    # the blob's digest; a blob that does not match its metadata (torn
+    # write, manual tampering) is treated as a miss and both files are
+    # dropped.  Counters are shared with the marshal entries.
+
+    def native_key(self, c_source: str, cc_identity: str) -> str:
+        h = hashlib.sha256()
+        h.update(f"native-format={NATIVE_FORMAT_VERSION};"
+                 f"lowering={LOWERING_VERSION}\n".encode())
+        h.update(cc_identity.encode())
+        h.update(b"\n")
+        h.update(c_source.encode())
+        return h.hexdigest()
+
+    def _native_paths(self, key: str) -> tuple:
+        base = os.path.join(self.native_root, key[:2], key)
+        return base + ".so", base + ".json"
+
+    def load_native(self, c_source: str, cc_identity: str) -> Optional[str]:
+        """Path of a verified cached .so for (C source, compiler), or
+        None on miss/corruption (corrupt entries are unlinked)."""
+        so_path, meta_path = self._native_paths(
+            self.native_key(c_source, cc_identity))
+        try:
+            with open(meta_path, "rb") as f:
+                meta = json.load(f)
+            if (meta.get("format") != NATIVE_FORMAT_VERSION
+                    or meta.get("cc") != cc_identity):
+                raise ValueError("version skew")
+            with open(so_path, "rb") as f:
+                blob = f.read()
+            if hashlib.sha256(blob).hexdigest() != meta.get("sha256"):
+                raise ValueError("library digest mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - corrupt entry => miss
+            self.misses += 1
+            self.errors += 1
+            for p in (so_path, meta_path):
+                try:
+                    os.unlink(p)
+                except OSError:
+                    pass
+            return None
+        self.hits += 1
+        return so_path
+
+    def store_native(self, c_source: str, cc_identity: str,
+                     blob: bytes) -> Optional[str]:
+        """Persist a compiled .so; returns its path, or None when the
+        cache directory is unwritable (best effort, like store)."""
+        so_path, meta_path = self._native_paths(
+            self.native_key(c_source, cc_identity))
+        meta = {
+            "format": NATIVE_FORMAT_VERSION,
+            "cc": cc_identity,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        }
+        try:
+            d = os.path.dirname(so_path)
+            os.makedirs(d, exist_ok=True)
+            for path, data, mode in ((so_path, blob, "wb"),
+                                     (meta_path, None, "w")):
+                fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, mode) as f:
+                        if data is None:
+                            json.dump(meta, f)
+                        else:
+                            f.write(data)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        except OSError:
+            return None
+        self.stores += 1
+        return so_path
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

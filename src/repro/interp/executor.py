@@ -38,17 +38,21 @@ class Executor:
         self.module = module
         self.interp = Interpreter(module, config)
         cfg = self.interp.config
-        if cfg.backend == "compiled":
+        if cfg.backend in ("compiled", "native"):
             # Sanitizer runs pin the interpreter: the race checker must
             # observe every individual access, which fused NumPy kernels
             # by construction do not surface.
             if not cfg.sanitize:
-                from .compile import CompiledBackend
-                self.interp.backend = CompiledBackend(self.interp)
+                if cfg.backend == "native":
+                    from .native import NativeBackend
+                    self.interp.backend = NativeBackend(self.interp)
+                else:
+                    from .compile import CompiledBackend
+                    self.interp.backend = CompiledBackend(self.interp)
         elif cfg.backend != "interp":
             raise InterpreterError(
-                f"unknown backend {cfg.backend!r} (want 'interp' or "
-                f"'compiled')")
+                f"unknown backend {cfg.backend!r} (want 'interp', "
+                f"'compiled' or 'native')")
 
     @property
     def clock(self) -> float:

@@ -166,7 +166,12 @@ class ExprFuser:
 
     def take(self, value) -> Optional[tuple]:
         """Pop and return ``(expr, nops)`` if ``value`` is pending."""
-        return self.pending.pop(value, None)
+        ent = self.pending.pop(value, None)
+        if ent is not None:
+            # The python expression is being inlined; the parallel
+            # C rendering (if any) can no longer be claimed on its own.
+            self.lowerer.cpend.pop(value, None)
+        return ent
 
     def pending_nops(self, value) -> int:
         entry = self.pending.get(value)
@@ -180,9 +185,13 @@ class ExprFuser:
             return None
         expr = entry[0]
         lo = self.lowerer
-        name = lo.fresh("v")
-        lo.names[value] = name
-        lo.emit(f"{name} = {expr}")
+        # The native tier may claim the whole chain as a C kernel call
+        # (with `expr` kept inline as the runtime fallback).
+        name = lo.native_materialize(value, expr)
+        if name is None:
+            name = lo.fresh("v")
+            lo.names[value] = name
+            lo.emit(f"{name} = {expr}")
         self.stats.kernels += 1
         return name
 

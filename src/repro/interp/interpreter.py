@@ -83,9 +83,13 @@ class ExecConfig:
     #: Execution backend: ``"interp"`` walks the IR op by op;
     #: ``"compiled"`` lowers each function to a generated NumPy closure
     #: (see :mod:`repro.interp.compile`) and falls back to the
-    #: interpreter for constructs the lowering cannot handle.  Sanitizer
-    #: runs always pin ``"interp"`` — the race checker needs to observe
-    #: every individual access.
+    #: interpreter for constructs the lowering cannot handle;
+    #: ``"native"`` additionally compiles the fused kernels to C via the
+    #: system compiler (see :mod:`repro.interp.native`), degrading
+    #: per kernel — or wholesale, when no compiler exists — to the
+    #: compiled path with bit-identical results.  Sanitizer runs always
+    #: pin ``"interp"`` — the race checker needs to observe every
+    #: individual access.
     backend: str = "interp"
     #: Trace fusion in the compiled backend: collapse chains of
     #: single-use elementwise ops into one generated kernel and use the
@@ -97,6 +101,11 @@ class ExecConfig:
     #: variable (cache disabled when that is unset too); ``"off"``
     #: force-disables; any other string is the cache directory.
     compile_cache: Optional[str] = None
+    #: C compiler command for the native backend.  ``None`` defers to
+    #: the ``CC`` environment variable, then the conventional candidates
+    #: (cc, gcc, clang); when nothing usable is found the native backend
+    #: falls back to the compiled path and records the reason.
+    cc: Optional[str] = None
 
 
 def chunk_bounds(lb: int, ub: int, step: int, tid: int, nthreads: int

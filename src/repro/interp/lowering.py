@@ -141,9 +141,16 @@ def _const_sign(v) -> Optional[int]:
 class Lowerer:
     """Lower one IR function to Python generator-function source."""
 
-    def __init__(self, fn, fusion: bool = True) -> None:
+    def __init__(self, fn, fusion: bool = True, native=None) -> None:
         self.fn = fn
         self.fusion = fusion
+        #: Optional native-kernel emitter (repro.interp.native); when
+        #: set, claimable fused chains additionally lower to a C kernel
+        #: call with the generated-NumPy expression as runtime fallback.
+        self.native = native
+        #: Value -> CExpr for pending fused values the native emitter
+        #: can also render (keys are a subset of ``fuser.pending``).
+        self.cpend: dict = {}
         self.lines: list[str] = []
         self._ind = 0
         self._n = 0
@@ -282,6 +289,40 @@ class Lowerer:
         self.fuser.flush()
         self.flush_seg()
 
+    # -- native kernel claims ------------------------------------------
+    def _emit_native_assign(self, res: str, cexp, pyexpr: str) -> None:
+        """Bind ``res`` through a native kernel call, keeping the exact
+        generated-NumPy expression as the runtime fallback (the wrapper
+        returns None when a buffer does not match its static claim)."""
+        gname, args = self.native.kernel_for(cexp)
+        call_args = "".join(", " + a for a in args)
+        self.emit(f"{res} = {gname}({self.wexpr}{call_args})")
+        self.emit(f"if {res} is None: {res} = {pyexpr}")
+
+    def native_materialize(self, value, expr: str) -> Optional[str]:
+        """Claim hook for :meth:`ExprFuser.materialize`: when the
+        pending value also carries a worthwhile CExpr, bind it through
+        the native kernel call instead of a plain assignment.  Returns
+        the bound name, or None to use the plain path."""
+        cexp = self.cpend.pop(value, None)
+        if (cexp is None or self.native is None
+                or not self.native.worthwhile(cexp)):
+            return None
+        name = self.fresh("v")
+        self.names[value] = name
+        self._emit_native_assign(name, cexp, expr)
+        return name
+
+    def native_try_claim(self, v) -> None:
+        """Force a pending value through the claim path when worthwhile
+        — used where the consumer would otherwise inline the fused
+        python chain into a memory-helper call."""
+        if self.native is None:
+            return
+        cexp = self.cpend.get(v)
+        if cexp is not None and self.native.worthwhile(cexp):
+            self.fuser.materialize(v)
+
     # ------------------------------------------------------------------
     def build(self) -> tuple[str, dict, "FusionStats"]:
         """Return ``(source, consts, fusion_stats)`` for this function."""
@@ -311,10 +352,12 @@ class Lowerer:
                 if top_level:
                     val = self.ref(op.operands[0]) if op.operands else "None"
                     self.fuser.pending.clear()  # dead beyond the return
+                    self.cpend.clear()
                     self.flush_seg()
                     self.emit(f"return {val}")
                 else:
                     self.fuser.pending.clear()
+                    self.cpend.clear()
                     self.flush_seg()
                     if len(self.lines) == start:
                         self.emit("pass")
@@ -368,8 +411,19 @@ class Lowerer:
                     self.emit(f"{dd} = {b}.data")
                     self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
                               f"Memory._check_bounds({b}, {x})")
-                    self.emit(f"{dd}[{x}] = {uf}.accumulate(np.concatenate("
-                              f"(({dd}[{x}:{x} + 1]), {v})))[-1]")
+                    fold = (f"{uf}.accumulate(np.concatenate("
+                            f"(({dd}[{x}:{x} + 1]), {v})))[-1]")
+                    if self.native is not None:
+                        # Ordered sequential fold in C; the helper
+                        # returns None when the buffers do not match
+                        # its static claim and the accumulate runs.
+                        fname = self.native.fold_name(op.attrs["kind"])
+                        r = self.fresh("_r")
+                        self.emit(f"{r} = {fname}({dd}, {x}, {v})")
+                        self.emit(f"if {r} is None: {dd}[{x}] = {fold}")
+                        self.emit(f"else: {dd}[{x}] = {r}")
+                    else:
+                        self.emit(f"{dd}[{x}] = {fold}")
                     self.emit(f"{w} = {v}.size if {v}.size > 1 else 1")
                     if via_red:
                         self.emit(f"rt.cost.reduction_ops += {w}")
@@ -498,6 +552,14 @@ class Lowerer:
     def lower_compute(self, op, info) -> None:
         oc = op.opcode
         varying = self._join_vary(op.operands)
+        cexp = None
+        if (self.native is not None and varying is True
+                and self.depth > 0 and not self.masked):
+            # Compose a C rendering in parallel with the python one.
+            # Composition consumes the operands' pending CExprs; the
+            # python pending entries are untouched, so a failed compose
+            # only breaks the *claim* chain, never the fused lowering.
+            cexp = self.native.compose(op, self)
         nops = 1
         if oc == "cmp":
             a, na = self._operand(op.operands[0])
@@ -563,10 +625,15 @@ class Lowerer:
             self.vary[op.result] = varying
             if mono is not None:
                 self.mono[op.result] = mono
+            if cexp is not None:
+                self.cpend[op.result] = cexp
             self.fuser.defer(op.result, expr, nops)
             return
         res = self.bind(op.result, varying, mono)
-        self.emit(f"{res} = {expr}")
+        if cexp is not None and self.native.worthwhile(cexp):
+            self._emit_native_assign(res, cexp, expr)
+        else:
+            self.emit(f"{res} = {expr}")
         stats.kernels += 1
 
     # ------------------------------------------------------------------
@@ -637,7 +704,18 @@ class Lowerer:
                 self.emit(f"    {res} = {dd}[{lo}:{hi} + 1].copy()")
             else:
                 self.emit(f"    {res} = {dd}[{lo}:{hi} + 1][::-1].copy()")
-            self.emit(f"else: {res} = {dd}[{x}]")
+            if self.native is not None:
+                # Non-contiguous monotone span: C gather beats NumPy
+                # fancy indexing; bounds were checked above via the
+                # endpoint lanes (monotone extremes are endpoints).
+                self.emit("else:")
+                self._ind += 1
+                self.emit(f"{res} = {self.native.gather_name()}"
+                          f"({dd}, {x})")
+                self.emit(f"if {res} is None: {res} = {dd}[{x}]")
+                self._ind -= 1
+            else:
+                self.emit(f"else: {res} = {dd}[{x}]")
             self.emit(f"{w} = {n} if {n} > 1 else 1")
             self.emit(f"if {b}.stream: rt.cost.stream_bytes += {w} * 8")
             self.emit(f"else: rt.cost.load_bytes += {w} * 8")
@@ -659,6 +737,9 @@ class Lowerer:
         scal = (self.vary_of(val_v) is False
                 and self.vary_of(ptr_v) is False
                 and self.vary_of(idx_v) is False)
+        # A worthwhile pending chain claims through the native kernel
+        # here; otherwise ref() inlines it into the store as before.
+        self.native_try_claim(val_v)
         val = self.ref(val_v)  # may inline a whole fused chain
         if scal and self.loops and not self.masked:
             b, x, dd = self._emit_scalar_access(ptr_v, idx_v)
@@ -710,7 +791,17 @@ class Lowerer:
                 self.emit(f"    {dd}[{lo}:{hi} + 1] = {v}[::-1]")
                 self.emit(f"else: {dd}[{lo}:{hi} + 1] = {v}")
             self._ind -= 1
-            self.emit(f"else: {dd}[{x}] = {v}")
+            if self.native is not None:
+                # Strictly monotone => duplicate-free, so NumPy's
+                # last-wins fancy-scatter order is unobservable and
+                # the C loop is exact.
+                self.emit("else:")
+                self._ind += 1
+                self.emit(f"if {self.native.scatter_name()}"
+                          f"({dd}, {x}, {v}) is None: {dd}[{x}] = {v}")
+                self._ind -= 1
+            else:
+                self.emit(f"else: {dd}[{x}] = {v}")
             self.emit(f"{w} = {v}.size if type({v}) is np.ndarray "
                       f"and {v}.size > 1 else 1")
             self.emit(f"{wi} = {i}.size if type({i}) is np.ndarray "
@@ -1007,6 +1098,6 @@ class Lowerer:
             self.emit(f"{res} = {env}[{self.konst(op.result)}]")
 
 
-def lower_function(fn, fusion: bool = True) -> tuple:
+def lower_function(fn, fusion: bool = True, native=None) -> tuple:
     """Lower ``fn``; returns ``(python_source, const_globals, stats)``."""
-    return Lowerer(fn, fusion=fusion).build()
+    return Lowerer(fn, fusion=fusion, native=native).build()

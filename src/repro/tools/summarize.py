@@ -104,27 +104,55 @@ def render_backend_report(payload: dict) -> str:
         return (f"h{cache['hits']} m{cache['misses']} "
                 f"s{cache['stores']}")
 
+    def _native(r):
+        nat = (r.get("backend") or {}).get("native")
+        if not nat:
+            return ""
+        if not nat.get("enabled"):
+            return "fallback"
+        return (f"k{nat['kernels']}+f{nat['folds']}"
+                f"+g{nat['gathers']}+s{nat['scatters']} "
+                f"{nat['compile_seconds']:.2f}s")
+
     rows = [{"case": r["case"],
              "headline": "yes" if r.get("headline") else "",
              "interp_s": r["interp_seconds"],
-             "compiled_s": r["compiled_seconds"],
+             "backend_s": r["compiled_seconds"],
              "speedup": f"{r['speedup']:.2f}x",
              "max_abs_dev": f"{r['max_abs_dev']:.1e}",
              "clock": "=" if r["clock_match"] else "DIVERGED",
              "cost": "=" if r["cost_match"] else "DIVERGED",
              "fused_ops": _fused(r),
              "kernels": (r.get("backend") or {}).get("kernels", ""),
+             "native": _native(r),
              "cache": _cache(r)}
             for r in payload.get("rows", [])]
     title = (f"backend-bench ({payload.get('mode', '?')}): "
-             f"compiled vs interp, headline speedup "
+             f"backends vs interp, headline speedup "
              f"{payload.get('speedup', '?')}x, "
              f"max |dev| {payload.get('max_abs_dev', '?')}")
     if not rows:
         return f"== {title} ==\nno cases\n"
     cols = list(rows[0].keys())
-    return format_table(title, cols,
-                        [[r.get(c) for c in cols] for r in rows])
+    out = format_table(title, cols,
+                       [[r.get(c) for c in cols] for r in rows])
+    # Surface native-tier fallbacks explicitly: a row that silently ran
+    # the NumPy path instead of C would otherwise only show as a
+    # missing kernel count.
+    notes = []
+    for r in payload.get("rows", []):
+        nat = (r.get("backend") or {}).get("native")
+        if not nat:
+            continue
+        reason = nat.get("fallback_reason")
+        if reason:
+            notes.append(f"note: {r['case']}: native fallback - {reason}")
+        for fn, why in sorted((nat.get("function_fallbacks")
+                               or {}).items()):
+            notes.append(f"note: {r['case']}: {fn}: {why}")
+    if notes:
+        out += "\n".join(notes) + "\n"
+    return out
 
 
 def render_comm_report(payload: dict) -> str:

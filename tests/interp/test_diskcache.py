@@ -256,6 +256,87 @@ def test_corrupt_marshal_blob_is_a_miss(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Native .so entries
+# ---------------------------------------------------------------------------
+
+_CC_A = "cc 13.2.0 [-O2 -fPIC -shared]"
+_CC_B = "cc 14.1.0 [-O2 -fPIC -shared]"
+
+
+def _native_files(cache):
+    out = []
+    for dirpath, _, files in os.walk(cache.native_root):
+        out += [os.path.join(dirpath, f) for f in files]
+    return sorted(out)
+
+
+def test_native_so_roundtrip(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    blob = b"\x7fELF-not-really-a-library"
+    path = cache.store_native("void k(void) {}\n", _CC_A, blob)
+    assert path is not None and os.path.exists(path)
+    got = cache.load_native("void k(void) {}\n", _CC_A)
+    assert got == path
+    with open(got, "rb") as f:
+        assert f.read() == blob
+    assert cache.stats() == {"hits": 1, "misses": 0, "stores": 1,
+                             "errors": 0}
+
+
+def test_native_key_separates_source_and_compiler(tmp_path):
+    """The .so key covers the emitted C *and* the compiler identity: a
+    compiler upgrade (new version string) must miss, never serve stale
+    machine code."""
+    cache = CompileCache(str(tmp_path))
+    assert cache.native_key("void a(void){}", _CC_A) != \
+        cache.native_key("void b(void){}", _CC_A)
+    assert cache.native_key("void a(void){}", _CC_A) != \
+        cache.native_key("void a(void){}", _CC_B)
+    cache.store_native("void a(void){}", _CC_A, b"AAAA")
+    assert cache.load_native("void a(void){}", _CC_B) is None
+    assert cache.load_native("void b(void){}", _CC_A) is None
+    assert cache.load_native("void a(void){}", _CC_A) is not None
+    # the two rejected lookups were plain misses, not corruption
+    assert cache.stats()["errors"] == 0
+
+
+def test_native_corrupt_blob_is_a_miss_and_unlinked(tmp_path):
+    """A .so whose bytes do not match the metadata digest (torn write,
+    tampering) is dropped — both files — and reported as an error."""
+    cache = CompileCache(str(tmp_path))
+    path = cache.store_native("void k(void){}", _CC_A, b"GOODBYTES")
+    with open(path, "wb") as f:
+        f.write(b"EVILBYTES")
+    assert cache.load_native("void k(void){}", _CC_A) is None
+    assert cache.stats()["errors"] == 1
+    assert _native_files(cache) == []  # blob and metadata both gone
+
+
+def test_native_meta_format_mismatch_rejected(tmp_path):
+    import repro.interp.diskcache as dc
+
+    cache = CompileCache(str(tmp_path))
+    cache.store_native("void k(void){}", _CC_A, b"BYTES")
+    meta_path = [p for p in _native_files(cache)
+                 if p.endswith(".json")][0]
+    with open(meta_path) as f:
+        meta = json.load(f)
+    meta["format"] = dc.NATIVE_FORMAT_VERSION + 1
+    with open(meta_path, "w") as f:
+        json.dump(meta, f)
+    assert cache.load_native("void k(void){}", _CC_A) is None
+    assert cache.stats()["errors"] == 1
+    assert _native_files(cache) == []
+
+
+def test_native_missing_meta_is_a_plain_miss(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    assert cache.load_native("void never(void){}", _CC_A) is None
+    assert cache.stats() == {"hits": 0, "misses": 1, "stores": 0,
+                             "errors": 0}
+
+
+# ---------------------------------------------------------------------------
 # Config / environment plumbing
 # ---------------------------------------------------------------------------
 
