@@ -110,6 +110,13 @@ class LuleshApp:
         self.last_adjoint_stats: Optional[dict] = None
         self._grad: Optional[str] = None
 
+    def region_report(self) -> dict:
+        """Statement-level native-region claimability report for this
+        flavor's kernel (``repro.passes.regioncheck``); the payload
+        ``summarize --region-report`` renders."""
+        from ...passes.regioncheck import region_report
+        return region_report(self.module.functions[self.fn], self.module)
+
     # ------------------------------------------------------------------
     @property
     def nprocs(self) -> int:
@@ -330,6 +337,9 @@ def main(argv: Optional[list] = None) -> int:
                     help="skip the gradient run")
     ap.add_argument("--json", action="store_true",
                     help="emit the raw report as JSON")
+    ap.add_argument("--region-report", action="store_true",
+                    help="include the native-region claimability "
+                         "report (regioncheck) in the output")
     args = ap.parse_args(argv)
 
     app = LuleshApp(args.flavor, args.nx, pr=args.pr,
@@ -350,6 +360,13 @@ def main(argv: Optional[list] = None) -> int:
         report["overhead"] = grad.time / fwd.time if fwd.time else None
         report["adjoint_report"] = app.adjoint_report
         report["adjoint_stats"] = app.last_adjoint_stats
+    if args.region_report:
+        rep = app.region_report()
+        if args.json:
+            report["region_report"] = rep
+        else:
+            from ...tools.summarize import render_region_report
+            print(render_region_report(rep))
     if args.json:
         json.dump(report, sys.stdout, indent=2)
         sys.stdout.write("\n")

@@ -198,7 +198,20 @@ def build_lulesh(flavor_name: str, nx: int, pr: int = 1,
     args += [(f, Ptr(I64)) for f in INT_FIELDS]
     args += [(f, Ptr(F64)) for f in MASK_FIELDS]
     args += [("steps", I64)]
-    attrs = [{"noalias": True} for _ in range(len(args) - 1)] + [{}]
+    # Declared array extents (the bounds-certification contract; see
+    # DESIGN §11): nodal fields are nnode-long, element fields
+    # nelem-long, the connectivity tables carry 8 entries per element
+    # (nodelist) / node (corner_ell), timestate is the 4-slot
+    # [time, dt, dtcourant, dthydro] record.
+    extents = {f: nnode for f in NODAL_FIELDS}
+    extents.update({f: nelem for f in ELEM_FIELDS})
+    extents[TIME_FIELD] = 4
+    extents["nodelist"] = 8 * nelem
+    extents["corner_ell"] = 8 * nnode
+    extents.update({f: nelem for f in INT_FIELDS[2:]})
+    extents.update({f: nnode for f in MASK_FIELDS})
+    attrs = [{"noalias": True, "extent": extents[name]}
+             for name, _ in args[:-1]] + [{}]
 
     with b.function(fn_name, args, arg_attrs=attrs) as f:
         A = {name: f.arg(name) for name in

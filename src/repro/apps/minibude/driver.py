@@ -59,6 +59,13 @@ class MinibudeApp:
         self.last_compile_stats: Optional[dict] = None
         self._grad: Optional[str] = None
 
+    def region_report(self) -> dict:
+        """Statement-level native-region claimability report for this
+        variant's kernel (``repro.passes.regioncheck``); the payload
+        ``summarize --region-report`` renders."""
+        from ...passes.regioncheck import region_report
+        return region_report(self.module.functions[self.fn], self.module)
+
     # ------------------------------------------------------------------
     def grad_fn(self) -> str:
         if self._grad is None:
@@ -173,3 +180,54 @@ class MinibudeApp:
         shadows, _ = self.run_gradient(num_threads)
         rev = float(shadows["poses"].sum())
         return rev, fd
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI: run one miniBUDE variant forward; ``--region-report``
+    prints the native-region claimability report for its kernel."""
+    import argparse
+    import json
+    import sys
+
+    from .kernels import VARIANTS
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.apps.minibude.driver",
+        description="Run a miniBUDE variant (forward).")
+    ap.add_argument("--variant", default="openmp",
+                    choices=sorted(VARIANTS))
+    ap.add_argument("--backend", default="interp",
+                    choices=["interp", "compiled", "native"])
+    ap.add_argument("--threads", type=int, default=1)
+    ap.add_argument("--json", action="store_true",
+                    help="emit the raw report as JSON")
+    ap.add_argument("--region-report", action="store_true",
+                    help="include the native-region claimability "
+                         "report (regioncheck) in the output")
+    args = ap.parse_args(argv)
+
+    app = MinibudeApp(args.variant, backend=args.backend)
+    res = app.run_forward(args.threads)
+    report = {
+        "variant": args.variant, "backend": args.backend,
+        "forward_time": res.time,
+        "energy_sum": float(res.energies.sum()),
+    }
+    if args.region_report:
+        rep = app.region_report()
+        if args.json:
+            report["region_report"] = rep
+        else:
+            from ...tools.summarize import render_region_report
+            print(render_region_report(rep))
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for k, v in report.items():
+            print(f"{k}: {v}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

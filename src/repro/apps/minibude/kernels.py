@@ -56,7 +56,16 @@ def build_minibude(variant: str, nprotein: int, nligand: int,
     b = IRBuilder(module)
     fn_name = f"bude_{variant}"
     args = [(n, Ptr(F64)) for n in ARG_NAMES]
-    attrs = [{"noalias": True} for _ in args]
+    # Declared array extents for static bounds certification: xyz
+    # tables are flattened (N, 3), poses flattened (P, 6).
+    extents = {
+        "protein_xyz": 3 * nprotein, "protein_radius": nprotein,
+        "protein_charge": nprotein, "protein_hphb": nprotein,
+        "ligand_xyz": 3 * nligand, "ligand_radius": nligand,
+        "ligand_charge": nligand, "ligand_hphb": nligand,
+        "poses": 6 * nposes, "energies": nposes,
+    }
+    attrs = [{"noalias": True, "extent": extents[n]} for n in ARG_NAMES]
 
     with b.function(fn_name, args, arg_attrs=attrs) as f:
         A = {n: f.arg(n) for n in ARG_NAMES}

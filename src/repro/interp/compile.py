@@ -185,6 +185,38 @@ def _ldm(rt, ptr, idx, d):
     return val
 
 
+def _ldmu(rt, ptr, idx, d):
+    """``_ldm`` for statically bounds-certified sites: the interval
+    analysis proved every lane in range, so the endpoint bounds check
+    is dropped (the slice fast path and cost accounting are
+    unchanged)."""
+    off = ptr.offset
+    at = idx if type(off) is int and not off else off + idx
+    if not isinstance(at, np.ndarray) or at.ndim != 1 or at.size == 0:
+        return _ld(rt, ptr, idx)
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    data = buf.data
+    n = at.size
+    if d > 0:
+        lo, hi = int(at[0]), int(at[n - 1])
+    else:
+        lo, hi = int(at[n - 1]), int(at[0])
+    if hi - lo == n - 1 and (d == 2 or d == -2):
+        sl = data[lo:hi + 1]
+        val = sl[::-1].copy() if d < 0 else sl.copy()
+    else:
+        val = data[at]  # fancy gather (copies)
+    c = rt.cost
+    w = n if n > 1 else 1
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.load_bytes += w * 8
+    return val
+
+
 def _ldk(rt, ptr, idx):
     """Masked generic load (inside lowered vectorized-if branches)."""
     mask = rt.mask
@@ -266,6 +298,43 @@ def _stm(rt, val, ptr, idx, d):
         lo, hi = int(at[n - 1]), int(at[0])
     if lo < 0 or hi >= len(data):
         Memory._check_bounds(buf, at)
+    val_is_arr = isinstance(val, np.ndarray)
+    if (hi - lo == n - 1 and (d == 2 or d == -2)
+            and (not val_is_arr
+                 or (val.ndim == 1 and (val.size == n or val.size == 1)))):
+        if val_is_arr and val.size == n and n > 1 and d < 0:
+            data[lo:hi + 1] = val[::-1]
+        else:
+            data[lo:hi + 1] = val
+    else:
+        data[at] = val
+    c = rt.cost
+    wv = val.size if val_is_arr and val.size > 1 else 1
+    wi = idx.size if isinstance(idx, np.ndarray) and idx.size > 1 else 1
+    w = wv if wv > wi else wi
+    if buf.stream:
+        c.stream_bytes += w * 8
+    else:
+        c.store_bytes += w * 8
+
+
+def _stmu(rt, val, ptr, idx, d):
+    """``_stm`` for statically bounds-certified sites (no endpoint
+    bounds check; see ``_ldmu``)."""
+    off = ptr.offset
+    at = idx if type(off) is int and not off else off + idx
+    if not isinstance(at, np.ndarray) or at.ndim != 1 or at.size == 0:
+        _st(rt, val, ptr, idx)
+        return
+    buf = ptr.buffer
+    if buf.freed:
+        buf.check_alive()
+    data = buf.data
+    n = at.size
+    if d > 0:
+        lo, hi = int(at[0]), int(at[n - 1])
+    else:
+        lo, hi = int(at[n - 1]), int(at[0])
     val_is_arr = isinstance(val, np.ndarray)
     if (hi - lo == n - 1 and (d == 2 or d == -2)
             and (not val_is_arr
@@ -547,7 +616,8 @@ _HELPER_GLOBALS = {
     "BarrierEvent": BarrierEvent,
     "chunk_bounds": chunk_bounds,
     "_acc": _acc, "_aw": _aw, "_ld": _ld, "_st": _st, "_at": _at,
-    "_ldm": _ldm, "_stm": _stm, "_ldk": _ldk, "_stk": _stk, "_atk": _atk,
+    "_ldm": _ldm, "_stm": _stm, "_ldmu": _ldmu, "_stmu": _stmu,
+    "_ldk": _ldk, "_stk": _stk, "_atk": _atk,
     "_al": _al, "_ms": _ms, "_mc": _mc, "_bg": _bg, "_ca": _ca,
     "_cu": _cu, "_rf": _rf,
 }
@@ -558,7 +628,7 @@ _HELPER_GLOBALS = {
 # ---------------------------------------------------------------------------
 
 def compile_function(fn: Function, fusion: bool = True, cache=None,
-                     fingerprint: str = "", native=None):
+                     fingerprint: str = "", native=None, module=None):
     """Lower + compile ``fn``; returns a generator function
     ``code(rt, *args)`` or raises :class:`LoweringError`.
 
@@ -574,8 +644,19 @@ def compile_function(fn: Function, fusion: bool = True, cache=None,
     generated code's globals (may raise ``NativeBuildError``).  The
     lowered *source* differs from the plain-NumPy lowering, so native
     and plain artifacts never share a marshal-cache entry.
+
+    ``module`` (the owning :class:`~repro.ir.function.Module`) enables
+    static bounds certification: the interval analysis runs over ``fn``
+    first, and accesses it proves in-bounds lower without their runtime
+    bounds checks.  The disk cache stays correct because the elision
+    changes the lowered source itself (the cache keys on source).
     """
-    source, consts, stats = lower_function(fn, fusion=fusion, native=native)
+    bounds = None
+    if module is not None:
+        from ..passes.intervals import certify_bounds
+        bounds = certify_bounds(fn, module)
+    source, consts, stats = lower_function(fn, fusion=fusion, native=native,
+                                           bounds=bounds)
     code_obj = cache.load(source, fingerprint) if cache is not None else None
     if code_obj is None:
         try:
@@ -653,7 +734,8 @@ class CompiledBackend:
         """One function's compile step (the native backend overrides
         this to layer the C-kernel emitter on the same lowering)."""
         return compile_function(fn, fusion=self.fusion, cache=self.cache,
-                                fingerprint=fingerprint)
+                                fingerprint=fingerprint,
+                                module=self.rt.module)
 
     # -- reporting -----------------------------------------------------
     def compile_stats(self) -> dict:

@@ -125,6 +125,15 @@ class Executor:
                 if arr.ndim != 1:
                     raise TypeError(
                         f"argument {formal.name!r}: buffers must be 1-D")
+                extent = formal.attrs.get("extent")
+                if isinstance(extent, int) and arr.size < extent:
+                    # The declared extent is what bounds certification
+                    # proved accesses against; a shorter buffer would
+                    # reach certified-but-unchecked accesses.
+                    raise TypeError(
+                        f"argument {formal.name!r} of {fn_name} declares "
+                        f"extent {extent} but the buffer has only "
+                        f"{arr.size} elements")
                 wrapped.append(self.interp.memory.wrap_external(
                     arr, t.elem, name=formal.name))
             elif t is F64:

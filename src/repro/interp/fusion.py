@@ -53,7 +53,7 @@ from typing import Optional
 
 #: Bump when fused codegen changes in a way that invalidates persisted
 #: compiled artifacts (see :mod:`repro.interp.diskcache`).
-LOWERING_VERSION = 2
+LOWERING_VERSION = 3
 
 #: Caps keeping one fused statement's source manageable: compute ops
 #: folded into a single expression and total expression characters.
@@ -120,7 +120,8 @@ class FusionStats:
     """Counters describing what fusion did to one lowered function."""
 
     __slots__ = ("ops", "kernels", "fused_ops", "mono_loads",
-                 "mono_stores", "fast_atomics")
+                 "mono_stores", "fast_atomics", "bounds_proven",
+                 "bounds_unproven", "checks_elided")
 
     def __init__(self) -> None:
         #: Pure compute ops seen by the lowering.
@@ -135,6 +136,14 @@ class FusionStats:
         self.mono_stores = 0
         #: Atomics lowered through the statically-unmasked fast helper.
         self.fast_atomics = 0
+        #: Memory accesses classified by the interval analysis
+        #: (repro.passes.intervals): statically certified in-bounds vs
+        #: not (unproven sites keep their runtime checks).
+        self.bounds_proven = 0
+        self.bounds_unproven = 0
+        #: Open-coded runtime bounds checks actually dropped from the
+        #: generated source on certified sites.
+        self.checks_elided = 0
 
     def as_dict(self) -> dict:
         return {s: getattr(self, s) for s in FusionStats.__slots__}

@@ -141,13 +141,20 @@ def _const_sign(v) -> Optional[int]:
 class Lowerer:
     """Lower one IR function to Python generator-function source."""
 
-    def __init__(self, fn, fusion: bool = True, native=None) -> None:
+    def __init__(self, fn, fusion: bool = True, native=None,
+                 bounds=None) -> None:
         self.fn = fn
         self.fusion = fusion
         #: Optional native-kernel emitter (repro.interp.native); when
         #: set, claimable fused chains additionally lower to a C kernel
         #: call with the generated-NumPy expression as runtime fallback.
         self.native = native
+        #: Optional static bounds facts (repro.passes.intervals
+        #: IntervalAnalysis): accesses the analysis certified in-bounds
+        #: drop their open-coded runtime bounds checks; everything else
+        #: keeps them.  A certified check can never fire, so eliding it
+        #: preserves bit-identity with the interpreter.
+        self.bounds = bounds
         #: Value -> CExpr for pending fused values the native emitter
         #: can also render (keys are a subset of ``fuser.pending``).
         self.cpend: dict = {}
@@ -381,6 +388,7 @@ class Lowerer:
             self.lower_store(op)
         elif oc == "atomic":
             via_red = op.attrs.get("via") == "reduction"
+            proven = self._bounds_proven(op)
             if self.masked:
                 self.emit(f"_atk(rt, {op.attrs['kind']!r}, {via_red!r}, "
                           f"{self.ref(op.operands[0])}, "
@@ -409,15 +417,19 @@ class Lowerer:
                     self.emit(f"if {b}.freed: {b}.check_alive()")
                     self.emit(f"{x} = {p}.offset + {i}")
                     self.emit(f"{dd} = {b}.data")
-                    self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
-                              f"Memory._check_bounds({b}, {x})")
+                    if proven:
+                        self.fuser.stats.checks_elided += 1
+                    else:
+                        self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
+                                  f"Memory._check_bounds({b}, {x})")
                     fold = (f"{uf}.accumulate(np.concatenate("
                             f"(({dd}[{x}:{x} + 1]), {v})))[-1]")
                     if self.native is not None:
                         # Ordered sequential fold in C; the helper
                         # returns None when the buffers do not match
                         # its static claim and the accumulate runs.
-                        fname = self.native.fold_name(op.attrs["kind"])
+                        fname = self.native.fold_name(op.attrs["kind"],
+                                                      proven)
                         r = self.fresh("_r")
                         self.emit(f"{r} = {fname}({dd}, {x}, {v})")
                         self.emit(f"if {r} is None: {dd}[{x}] = {fold}")
@@ -637,11 +649,29 @@ class Lowerer:
         stats.kernels += 1
 
     # ------------------------------------------------------------------
-    def _emit_scalar_access(self, ptr_v, idx_v) -> tuple:
+    def _bounds_proven(self, op) -> bool:
+        """Classify one memory-access op against the static bounds
+        facts (when available), keeping the proven/unproven tallies,
+        and return whether its runtime bounds check may be elided."""
+        facts = self.bounds
+        if facts is None:
+            return False
+        stats = self.fuser.stats
+        if facts.proven(op):
+            stats.bounds_proven += 1
+            return True
+        stats.bounds_unproven += 1
+        return False
+
+    def _emit_scalar_access(self, ptr_v, idx_v, proven: bool = False
+                            ) -> tuple:
         """Open-code the shared prefix of a statically-scalar memory
         access (buffer resolve, liveness, address, bounds), mirroring
         the scalar fast path of ``compile._ld``/``_st`` statement by
-        statement.  Returns ``(buf, addr, data)`` local names."""
+        statement.  Returns ``(buf, addr, data)`` local names.
+
+        ``proven`` sites (statically certified in-bounds) skip the
+        bounds check entirely — the check could never fire there."""
         p = self.ref_local(ptr_v)
         i = self.ref(idx_v)
         b, x, dd = self.fresh("_b"), self.fresh("_x"), self.fresh("_d")
@@ -649,20 +679,24 @@ class Lowerer:
         self.emit(f"if {b}.freed: {b}.check_alive()")
         self.emit(f"{x} = {p}.offset + {i}")
         self.emit(f"{dd} = {b}.data")
-        self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
-                  f"Memory._check_bounds({b}, {x})")
+        if proven:
+            self.fuser.stats.checks_elided += 1
+        else:
+            self.emit(f"if {x} < 0 or {x} >= {dd}.size: "
+                      f"Memory._check_bounds({b}, {x})")
         return b, x, dd
 
     def lower_load(self, op) -> None:
         ptr_v, idx_v = op.operands
         varying = self._join_vary(op.operands)
+        proven = self._bounds_proven(op)
         scal = (self.vary_of(ptr_v) is False
                 and self.vary_of(idx_v) is False)
         if scal and self.loops and not self.masked:
             # Statically scalar inside a loop: open-code the access
             # (element-by-element adjoint sweeps are bound on the
             # per-access call overhead, not the numerics).
-            b, x, dd = self._emit_scalar_access(ptr_v, idx_v)
+            b, x, dd = self._emit_scalar_access(ptr_v, idx_v, proven)
             res = self.bind(op.result, False)
             self.emit(f"{res} = {dd}[{x}]")
             self.emit(f"if {b}.stream: rt.cost.stream_bytes += 8")
@@ -697,8 +731,11 @@ class Lowerer:
                 self.emit(f"{lo} = int({x}[0]); {hi} = int({x}[{n} - 1])")
             else:
                 self.emit(f"{lo} = int({x}[{n} - 1]); {hi} = int({x}[0])")
-            self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
-                      f"Memory._check_bounds({b}, {x})")
+            if proven:
+                self.fuser.stats.checks_elided += 1
+            else:
+                self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
+                          f"Memory._check_bounds({b}, {x})")
             self.emit(f"if {hi} - {lo} == {n} - 1:")
             if d > 0:
                 self.emit(f"    {res} = {dd}[{lo}:{hi} + 1].copy()")
@@ -707,10 +744,11 @@ class Lowerer:
             if self.native is not None:
                 # Non-contiguous monotone span: C gather beats NumPy
                 # fancy indexing; bounds were checked above via the
-                # endpoint lanes (monotone extremes are endpoints).
+                # endpoint lanes (monotone extremes are endpoints) or
+                # statically certified by the interval analysis.
                 self.emit("else:")
                 self._ind += 1
-                self.emit(f"{res} = {self.native.gather_name()}"
+                self.emit(f"{res} = {self.native.gather_name(proven)}"
                           f"({dd}, {x})")
                 self.emit(f"if {res} is None: {res} = {dd}[{x}]")
                 self._ind -= 1
@@ -725,7 +763,11 @@ class Lowerer:
         res = self.bind(op.result, varying)
         if not self.masked and vec and d:
             self.fuser.stats.mono_loads += 1
-            self.emit(f"{res} = _ldm(rt, {self.ref(ptr_v)}, "
+            helper = "_ldm"
+            if proven:
+                helper = "_ldmu"
+                self.fuser.stats.checks_elided += 1
+            self.emit(f"{res} = {helper}(rt, {self.ref(ptr_v)}, "
                       f"{self.ref(idx_v)}, {d})")
         else:
             helper = "_ldk" if self.masked else "_ld"
@@ -734,6 +776,7 @@ class Lowerer:
 
     def lower_store(self, op) -> None:
         val_v, ptr_v, idx_v = op.operands
+        proven = self._bounds_proven(op)
         scal = (self.vary_of(val_v) is False
                 and self.vary_of(ptr_v) is False
                 and self.vary_of(idx_v) is False)
@@ -742,7 +785,7 @@ class Lowerer:
         self.native_try_claim(val_v)
         val = self.ref(val_v)  # may inline a whole fused chain
         if scal and self.loops and not self.masked:
-            b, x, dd = self._emit_scalar_access(ptr_v, idx_v)
+            b, x, dd = self._emit_scalar_access(ptr_v, idx_v, proven)
             self.emit(f"{dd}[{x}] = {val}")
             self.emit(f"if {b}.stream: rt.cost.stream_bytes += 8")
             self.emit("else: rt.cost.store_bytes += 8")
@@ -777,8 +820,11 @@ class Lowerer:
                 self.emit(f"{lo} = int({x}[0]); {hi} = int({x}[{n} - 1])")
             else:
                 self.emit(f"{lo} = int({x}[{n} - 1]); {hi} = int({x}[0])")
-            self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
-                      f"Memory._check_bounds({b}, {x})")
+            if proven:
+                self.fuser.stats.checks_elided += 1
+            else:
+                self.emit(f"if {lo} < 0 or {hi} >= {dd}.size: "
+                          f"Memory._check_bounds({b}, {x})")
             self.emit(f"if {hi} - {lo} == {n} - 1 and "
                       f"(type({v}) is not np.ndarray or ({v}.ndim == 1 "
                       f"and ({v}.size == {n} or {v}.size == 1))):")
@@ -797,7 +843,7 @@ class Lowerer:
                 # the C loop is exact.
                 self.emit("else:")
                 self._ind += 1
-                self.emit(f"if {self.native.scatter_name()}"
+                self.emit(f"if {self.native.scatter_name(proven)}"
                           f"({dd}, {x}, {v}) is None: {dd}[{x}] = {v}")
                 self._ind -= 1
             else:
@@ -814,7 +860,11 @@ class Lowerer:
             return
         if not self.masked and vec and d:
             self.fuser.stats.mono_stores += 1
-            self.emit(f"_stm(rt, {val}, {self.ref(ptr_v)}, "
+            helper = "_stm"
+            if proven:
+                helper = "_stmu"
+                self.fuser.stats.checks_elided += 1
+            self.emit(f"{helper}(rt, {val}, {self.ref(ptr_v)}, "
                       f"{self.ref(idx_v)}, {d})")
         else:
             helper = "_stk" if self.masked else "_st"
@@ -1098,6 +1148,11 @@ class Lowerer:
             self.emit(f"{res} = {env}[{self.konst(op.result)}]")
 
 
-def lower_function(fn, fusion: bool = True, native=None) -> tuple:
-    """Lower ``fn``; returns ``(python_source, const_globals, stats)``."""
-    return Lowerer(fn, fusion=fusion, native=native).build()
+def lower_function(fn, fusion: bool = True, native=None,
+                   bounds=None) -> tuple:
+    """Lower ``fn``; returns ``(python_source, const_globals, stats)``.
+
+    ``bounds`` is an optional :class:`repro.passes.intervals.
+    IntervalAnalysis` over ``fn``: accesses it certified in-bounds are
+    lowered without their runtime bounds checks."""
+    return Lowerer(fn, fusion=fusion, native=native, bounds=bounds).build()

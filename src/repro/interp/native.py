@@ -362,7 +362,8 @@ class NativeStats:
     across functions in ``compile_stats()``)."""
 
     __slots__ = ("kernels", "claimed", "claimed_ops", "folds", "gathers",
-                 "scatters", "compile_seconds", "so_cached")
+                 "scatters", "claims_proven", "claims_unproven",
+                 "compile_seconds", "so_cached")
 
     def __init__(self) -> None:
         #: Distinct C kernels emitted for this function.
@@ -375,6 +376,12 @@ class NativeStats:
         self.folds = 0
         self.gathers = 0
         self.scatters = 0
+        #: Gather/scatter/fold claims split by the interval analysis:
+        #: bounds-certified sites reach the C helper with no bounds
+        #: check on any layer; unproven sites keep the generated-Python
+        #: endpoint check in front of the same helper.
+        self.claims_proven = 0
+        self.claims_unproven = 0
         #: Seconds spent in the C compiler (0.0 when cache-served).
         self.compile_seconds = 0.0
         self.so_cached = False
@@ -391,6 +398,8 @@ class NativeStats:
         self.folds += other.folds
         self.gathers += other.gathers
         self.scatters += other.scatters
+        self.claims_proven += other.claims_proven
+        self.claims_unproven += other.claims_unproven
         self.compile_seconds += other.compile_seconds
         self.so_cached = self.so_cached or other.so_cached
 
@@ -545,16 +554,25 @@ class NativeEmitter:
         self.stats.claimed_ops += c.nops
         return gname, [nm for nm, _ in leaves]
 
-    def fold_name(self, kind: str) -> str:
+    def _classify_claim(self, proven: bool) -> None:
+        if proven:
+            self.stats.claims_proven += 1
+        else:
+            self.stats.claims_unproven += 1
+
+    def fold_name(self, kind: str, proven: bool = False) -> str:
         self.stats.folds += 1
+        self._classify_claim(proven)
         return _FOLD_NAMES[kind]
 
-    def gather_name(self) -> str:
+    def gather_name(self, proven: bool = False) -> str:
         self.stats.gathers += 1
+        self._classify_claim(proven)
         return _GATHER_NAME
 
-    def scatter_name(self) -> str:
+    def scatter_name(self, proven: bool = False) -> str:
         self.stats.scatters += 1
+        self._classify_claim(proven)
         return _SCATTER_NAME
 
     # -- C source ------------------------------------------------------
@@ -1081,7 +1099,8 @@ class NativeBackend(CompiledBackend):
             return compile_function(fn, fusion=self.fusion,
                                     cache=self.cache,
                                     fingerprint=fingerprint,
-                                    native=emitter)
+                                    native=emitter,
+                                    module=self.rt.module)
         except NativeBuildError as e:
             if self.strict:
                 raise

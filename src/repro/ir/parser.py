@@ -190,12 +190,19 @@ class _Parser:
         if argtext.strip():
             for part in _split_top(argtext, ","):
                 part = part.strip()
-                am = re.match(r"%(\S+): (\S+)((?: \w+)*)$", part)
+                am = re.match(r"%(\S+): (\S+)((?: \w+(?:=-?\d+)?)*)$", part)
                 if not am:
                     raise ParseError(f"bad argument: {part!r}")
                 aname, atype, aattrs = am.groups()
                 args.append((aname, parse_type(atype)))
-                attrs.append({k: True for k in aattrs.split()})
+                aa: dict = {}
+                for tok in aattrs.split():
+                    if "=" in tok:
+                        k, v = tok.split("=", 1)
+                        aa[k] = int(v)
+                    else:
+                        aa[tok] = True
+                attrs.append(aa)
         fn = Function(name, args, parse_type(ret), attrs)
         self.module.add_function(fn)
         self.env = {f"%{a.name}": a for a in fn.args}

@@ -45,7 +45,8 @@ def print_function(fn: Function) -> str:
     namer = _Namer()
     args = ", ".join(
         f"{namer.name(a)}: {a.type}"
-        + ("".join(f" {k}" for k, val in sorted(a.attrs.items()) if val))
+        + ("".join(f" {k}" if val is True else f" {k}={val}"
+                   for k, val in sorted(a.attrs.items()) if val))
         for a in fn.args)
     out.write(f"func @{fn.name}({args}) -> {fn.ret_type} {{\n")
     _print_block(fn.body, out, namer, indent=1)

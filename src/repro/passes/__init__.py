@@ -12,8 +12,16 @@ from .constfold import ConstantFold
 from .cse import CSE
 from .dce import DCE
 from .inline import force_inline_all, inline_all
+from .intervals import (
+    Affine,
+    Interval,
+    IntervalAnalysis,
+    analyze_intervals,
+    certify_bounds,
+)
 from .licm import LICM
 from .openmp_opt import OpenMPOpt
+from .regioncheck import RegionChecker, region_report
 from .pass_manager import (
     FunctionPass,
     PassManager,
@@ -24,7 +32,10 @@ from .simplify import Simplify
 
 __all__ = [
     "AliasInfo", "analyze_aliasing",
+    "Affine", "Interval", "IntervalAnalysis",
+    "analyze_intervals", "certify_bounds",
     "ConstantFold", "CSE", "DCE", "LICM", "OpenMPOpt", "Simplify",
+    "RegionChecker", "region_report",
     "force_inline_all", "inline_all",
     "FunctionPass", "PassManager", "cleanup_pipeline", "default_pipeline",
 ]

@@ -64,6 +64,7 @@ class AliasInfo:
         #: Per alloc/arg origin: provenances of pointers stored into it
         #: (for pointers held in memory, e.g. closure records).
         self.stored_ptrs: dict = {}
+        self._region_writes_cache: dict[Op, tuple[frozenset, bool]] = {}
 
     # ------------------------------------------------------------------
     def provenance(self, ptr: Value) -> frozenset:
@@ -88,6 +89,73 @@ class AliasInfo:
             if origin[0] == "alloc":
                 return origin[1]
         return None
+
+    # ------------------------------------------------------------------
+    # Per-region write tracking (public: regioncheck and LICM consume it)
+    # ------------------------------------------------------------------
+    def region_written_origins(self, region_op: Op) -> tuple[frozenset,
+                                                             bool]:
+        """Origins that may be written by any op nested inside
+        ``region_op``, plus a has-unknown-write flag.  Unlike the
+        whole-function :attr:`written` set this is per-origin precise
+        for the known writing intrinsics (``mpi.recv`` writes only its
+        receive buffer; ``mpi.send`` writes nothing), so read-only
+        buffers inside an MPI-using region stay read-only.  Cached per
+        op."""
+        cached = self._region_writes_cache.get(region_op)
+        if cached is not None:
+            return cached
+        origins: set = set()
+        unknown = False
+        for inner in region_op.walk():
+            oc = inner.opcode
+            target: Optional[Value] = None
+            if oc in ("store", "atomic"):
+                target = inner.operands[1]
+            elif oc in ("memset", "memcpy"):
+                target = inner.operands[0]
+            elif oc == "call":
+                callee = inner.attrs["callee"]
+                idxs = _WRITING_INTRINSICS.get(callee)
+                if idxs is not None:
+                    for i in idxs:
+                        p = self.provenance(inner.operands[i])
+                        if UNKNOWN in p:
+                            unknown = True
+                        origins |= set(p)
+                elif callee in _NONWRITING_INTRINSICS:
+                    pass
+                elif callee.startswith("mpi.") or \
+                        callee.startswith("mpid."):
+                    # e.g. mpi.wait completing an irecv posted outside
+                    # the region: the write lands here.
+                    unknown = True
+                else:
+                    for v in inner.operands:
+                        if isinstance(v.type, PointerType):
+                            p = self.provenance(v)
+                            if UNKNOWN in p:
+                                unknown = True
+                            origins |= set(p)
+            if target is not None:
+                p = self.provenance(target)
+                if UNKNOWN in p:
+                    unknown = True
+                origins |= set(p)
+        out = (frozenset(origins), unknown)
+        self._region_writes_cache[region_op] = out
+        return out
+
+    def readonly_in_region(self, ptr: Value, region_op: Op) -> bool:
+        """True if no write *inside* ``region_op`` may touch ``ptr``'s
+        origins — the per-region analogue of :meth:`is_readonly`."""
+        p = self.provenance(ptr)
+        if UNKNOWN in p:
+            return False
+        writes, unknown = self.region_written_origins(region_op)
+        if unknown:
+            return False
+        return not (p & writes)
 
 
 def provs_may_alias(pa: frozenset, pb: frozenset) -> bool:

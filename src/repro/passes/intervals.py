@@ -1,0 +1,747 @@
+"""Flow-sensitive interval + affine-index dataflow analysis.
+
+The static-analysis substrate the native tier builds on (paper §VII's
+"analyses run over the IR first"): every ``i64`` SSA value gets
+
+* an **affine decomposition** ``c0 + Σ ci·vi`` over *symbols* (values
+  the analysis cannot open up: arguments, loads, call results) and
+  *bounded values* (loop induction variables, thread ids, MPI ranks),
+  built from the exact integer ops ``iadd``/``isub``/``ineg`` and
+  ``imul``-by-constant; and
+* an **interval** ``[lo, hi]`` obtained by eliminating bounded values
+  from the affine form (substituting their symbolic bound, so
+  ``n - i`` with ``i ∈ [0, n-1]`` cancels to ``[1, n]`` exactly) and
+  then evaluating the remaining symbols over the interval lattice.
+
+The lattice is the classic integer-interval lattice with ±∞; ``join``
+is the union hull, ``meet`` the intersection, and the widening rule is
+"unstable endpoints go straight to ±∞" (applied when a bound would
+have to grow, e.g. the iteration counter of a ``while`` loop, whose
+fixpoint ``widen([0,0], [0,1]) = [0, +∞)`` is registered directly).
+
+Flow-sensitivity enters through *scoped bounds*:
+
+* ``for``/``parallel_for`` induction variables carry the affine bounds
+  ``[lb, ub-1]`` of their range (positive-step loops only execute with
+  ``iv < ub``);
+* workshare loops chunk a subset of the same range, so the full-range
+  bound is sound for every thread;
+* ``fork`` thread ids carry ``[0, nthreads-1]`` with ``nthreads``
+  itself ``[1, +∞)`` (or the exact constant);
+* ``mpi.comm_rank`` results carry ``[0, size-1]`` against the matching
+  ``mpi.comm_size`` result;
+* branch conditions over *uniform* ``i64`` values refine the compared
+  values inside the taken region (``if i < n`` gives ``i ≤ n-1``
+  there).  Lane-varying conditions refine nothing: vectorized branches
+  execute masked, where every lane still evaluates the body.
+
+Soundness against ``int64`` wraparound: the affine form is exact over
+ℤ and machine arithmetic is exact mod 2^64, so whenever the ℤ-value of
+an affine expression fits ``int64`` the machine value equals it.  Any
+interval endpoint outside the ``int64`` range degrades to ±∞ before it
+can be used in a proof.
+
+The consumer-facing product is :func:`certify_bounds`: every
+``load``/``store``/``atomic`` site is classified ``proven`` (the
+address is certainly inside its buffer — the backend may elide the
+runtime bounds check), ``unproven`` (checks stay on), or ``oob``
+(provably out of bounds on every executed lane: a compile-time lint
+finding).  Buffer extents come from the ``count`` operand of a
+dominating ``alloc`` or from the ``extent`` attribute of a pointer
+argument (a caller contract enforced by ``Executor.wrap_args``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ir.opinfo import OP_INFO
+from ..ir.ops import Op
+from ..ir.types import I64
+from ..ir.values import Argument, Constant, Result, Value
+from .aliasing import AliasInfo, analyze_aliasing
+
+Bound = Union[int, float]
+
+NEG_INF: float = float("-inf")
+POS_INF: float = float("inf")
+
+#: Endpoints beyond this magnitude degrade to ±∞: the machine value of
+#: a non-affine op applied to a wrapped operand could differ from the
+#: ℤ-value the analysis reasons about.
+_INT64_MAX: int = 2**63 - 1
+_INT64_MIN: int = -(2**63)
+
+#: Substitution fuel for bound evaluation (cyclic refinement guards).
+_FUEL: int = 32
+
+
+def _clamp(b: Bound) -> Bound:
+    if isinstance(b, int) and not (_INT64_MIN <= b <= _INT64_MAX):
+        return POS_INF if b > 0 else NEG_INF
+    return b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval with ±∞ endpoints."""
+
+    lo: Bound
+    hi: Bound
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(NEG_INF, POS_INF)
+
+    @staticmethod
+    def const(v: int) -> "Interval":
+        return Interval(v, v)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == NEG_INF and self.hi == POS_INF
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Classic interval widening: endpoints that would have to move
+        jump straight to ±∞ (guarantees termination of any fixpoint
+        this analysis would iterate)."""
+        lo = self.lo if other.lo >= self.lo else NEG_INF
+        hi = self.hi if other.hi <= self.hi else POS_INF
+        return Interval(lo, hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def shift(self, c: int) -> "Interval":
+        return Interval(_add(self.lo, c), _add(self.hi, c))
+
+    def scale(self, c: int) -> "Interval":
+        if c == 0:
+            return Interval.const(0)
+        if c > 0:
+            return Interval(_mul(self.lo, c), _mul(self.hi, c))
+        return Interval(_mul(self.hi, c), _mul(self.lo, c))
+
+    def mul(self, other: "Interval") -> "Interval":
+        ends = [_mul(a, b) for a in (self.lo, self.hi)
+                for b in (other.lo, other.hi)]
+        return Interval(min(ends), max(ends))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+TOP: Interval = Interval.top()
+
+
+def _add(a: Bound, b: Bound) -> Bound:
+    # ±inf + finite is well-defined; opposing infinities cannot occur
+    # (lo sums with lo, hi with hi).
+    return _clamp(a + b)
+
+
+def _mul(a: Bound, b: Bound) -> Bound:
+    if a == 0 or b == 0:
+        return 0  # 0 * ±inf is 0 for interval endpoints
+    return _clamp(a * b)
+
+
+def _floordiv(a: Bound, b: Bound) -> Bound:
+    """``a // b`` for b >= 1 with ±∞ endpoints."""
+    if a == NEG_INF or a == POS_INF:
+        return a
+    if b == POS_INF:
+        return 0 if a >= 0 else -1
+    return _clamp(int(a) // int(b))
+
+
+class Affine:
+    """An exact affine form ``const + Σ coeff·value`` over ℤ."""
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const: int = 0,
+                 terms: Optional[Dict[Value, int]] = None) -> None:
+        self.const = const
+        self.terms: Dict[Value, int] = terms if terms is not None else {}
+
+    @staticmethod
+    def of(v: Value, coeff: int = 1) -> "Affine":
+        return Affine(0, {v: coeff})
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for v, c in other.terms.items():
+            nc = terms.get(v, 0) + c
+            if nc:
+                terms[v] = nc
+            else:
+                terms.pop(v, None)
+        return Affine(self.const + other.const, terms)
+
+    def scale(self, c: int) -> "Affine":
+        if c == 0:
+            return Affine(0)
+        return Affine(self.const * c,
+                      {v: k * c for v, k in self.terms.items()})
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.scale(-1))
+
+    def shift(self, c: int) -> "Affine":
+        return Affine(self.const + c, dict(self.terms))
+
+    def substitute(self, v: Value, repl: "Affine") -> "Affine":
+        """Replace ``v`` by ``repl`` (an inclusive bound of ``v``)."""
+        c = self.terms.get(v, 0)
+        if not c:
+            return self
+        terms = dict(self.terms)
+        del terms[v]
+        return Affine(self.const, terms).add(repl.scale(c))
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)]
+        parts += [f"{c}*{v!r}" for v, c in self.terms.items()]
+        return " + ".join(parts)
+
+
+#: Access-site classification statuses.
+PROVEN = "proven"
+UNPROVEN = "unproven"
+OOB = "oob"
+
+
+@dataclass
+class AccessFact:
+    """Bounds verdict for one ``load``/``store``/``atomic`` site."""
+
+    status: str
+    reason: str
+    index: Interval = field(default_factory=Interval.top)
+    extent: Interval = field(default_factory=Interval.top)
+
+
+@dataclass
+class BoundsFinding:
+    """A provably out-of-bounds access (compile-time lint finding)."""
+
+    fn: str
+    op: str
+    reason: str
+    index: str
+    extent: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"fn": self.fn, "op": self.op, "reason": self.reason,
+                "index": self.index, "extent": self.extent}
+
+
+class IntervalAnalysis:
+    """One function's interval/affine facts (see module docstring).
+
+    Build with :func:`analyze_intervals`; query with :meth:`interval`,
+    :meth:`affine_of` and :attr:`access` (per-op
+    :class:`AccessFact`).
+    """
+
+    def __init__(self, fn: object, module: object,
+                 aliasing: Optional[AliasInfo] = None) -> None:
+        self.fn = fn
+        self.module = module
+        self.aliasing: AliasInfo = (aliasing if aliasing is not None
+                                    else analyze_aliasing(fn, module))
+        #: Exact affine decomposition memo (pure SSA facts).
+        self._affine: Dict[Value, Affine] = {}
+        #: Plain ranges for symbols the walk registered.
+        self._sym_range: Dict[Value, Interval] = {}
+        #: Scoped inclusive symbolic bounds (induction variables,
+        #: thread ids, branch refinements).
+        self._lo_bounds: Dict[Value, List[Affine]] = {}
+        self._hi_bounds: Dict[Value, List[Affine]] = {}
+        self._order: Dict[Value, int] = {}
+        self._next_order = 0
+        #: Statically-uniform values (refinement gate: lane-varying
+        #: conditions execute masked, so they must refine nothing).
+        self._uniform: Dict[Value, bool] = {}
+        #: Pointer offset (relative to its single origin) memo.
+        self._ptr_off: Dict[Value, Optional[Affine]] = {}
+        #: Per access op (load/store/atomic): the bounds verdict.
+        self.access: Dict[Op, AccessFact] = {}
+        #: The last ``mpi.comm_size`` result in scope (rank bounds).
+        self._comm_size: Optional[Value] = None
+
+    # -- public queries -------------------------------------------------
+    def affine_of(self, v: Value) -> Affine:
+        """Exact affine decomposition of an integer value."""
+        got = self._affine.get(v)
+        if got is not None:
+            return got
+        aff = self._decompose(v)
+        self._affine[v] = aff
+        return aff
+
+    def interval(self, v: Value) -> Interval:
+        """Best interval for ``v`` under the bounds active right now."""
+        if isinstance(v, Constant):
+            if isinstance(v.value, bool) or not isinstance(v.value, int):
+                return TOP
+            return Interval.const(v.value)
+        if getattr(v, "type", None) is not I64:
+            return TOP
+        return self.bound_affine(self.affine_of(v))
+
+    def is_uniform(self, v: Value) -> bool:
+        if isinstance(v, Constant):
+            return True
+        return self._uniform.get(v, False)
+
+    def proven(self, op: Op) -> bool:
+        fact = self.access.get(op)
+        return fact is not None and fact.status == PROVEN
+
+    def status(self, op: Op) -> str:
+        fact = self.access.get(op)
+        return fact.status if fact is not None else UNPROVEN
+
+    def counts(self) -> Dict[str, int]:
+        out = {PROVEN: 0, UNPROVEN: 0, OOB: 0}
+        for fact in self.access.values():
+            out[fact.status] += 1
+        return out
+
+    def findings(self) -> List[BoundsFinding]:
+        """Provably out-of-bounds accesses, in program order."""
+        from ..ir.printer import print_op
+        out: List[BoundsFinding] = []
+        for op, fact in self.access.items():
+            if fact.status == OOB:
+                out.append(BoundsFinding(
+                    fn=getattr(self.fn, "name", "?"),
+                    op=print_op(op),
+                    reason=fact.reason,
+                    index=repr(fact.index),
+                    extent=repr(fact.extent)))
+        return out
+
+    # -- affine decomposition -------------------------------------------
+    def _decompose(self, v: Value) -> Affine:
+        if isinstance(v, Constant):
+            if isinstance(v.value, int) and not isinstance(v.value, bool):
+                return Affine(v.value)
+            return Affine.of(v)
+        if isinstance(v, Result):
+            op = v.op
+            oc = op.opcode
+            if oc == "iadd":
+                return self.affine_of(op.operands[0]).add(
+                    self.affine_of(op.operands[1]))
+            if oc == "isub":
+                return self.affine_of(op.operands[0]).sub(
+                    self.affine_of(op.operands[1]))
+            if oc == "ineg":
+                return self.affine_of(op.operands[0]).scale(-1)
+            if oc == "imul":
+                a, b = op.operands
+                if isinstance(a, Constant) and isinstance(a.value, int):
+                    return self.affine_of(b).scale(a.value)
+                if isinstance(b, Constant) and isinstance(b.value, int):
+                    return self.affine_of(a).scale(b.value)
+        return Affine.of(v)
+
+    # -- bound evaluation -----------------------------------------------
+    def bound_affine(self, aff: Affine) -> Interval:
+        lo = self._eval_dir(aff, want_hi=False, fuel=_FUEL)
+        hi = self._eval_dir(aff, want_hi=True, fuel=_FUEL)
+        return Interval(lo, hi)
+
+    def _eval_dir(self, aff: Affine, want_hi: bool, fuel: int) -> Bound:
+        """Tightest upper (``want_hi``) / lower bound of ``aff``:
+        eliminate symbolically-bounded values innermost-first by
+        substituting each candidate bound, then evaluate the residual
+        symbols over their intervals."""
+        if fuel <= 0:
+            return POS_INF if want_hi else NEG_INF
+        bounded = [v for v in aff.terms
+                   if (self._hi_bounds.get(v) if want_hi == (
+                       aff.terms[v] > 0) else self._lo_bounds.get(v))]
+        if bounded:
+            v = max(bounded, key=lambda x: self._order.get(x, -1))
+            coeff = aff.terms[v]
+            use_hi = want_hi == (coeff > 0)
+            cands = (self._hi_bounds if use_hi else self._lo_bounds)[v]
+            best: Bound = POS_INF if want_hi else NEG_INF
+            results: List[Bound] = []
+            for repl in cands:
+                results.append(self._eval_dir(aff.substitute(v, repl),
+                                              want_hi, fuel - 1))
+            # The value's plain range (if registered) competes too.
+            plain = self._sym_range.get(v)
+            if plain is not None:
+                residual = dict(aff.terms)
+                del residual[v]
+                end = plain.hi if use_hi else plain.lo
+                if end not in (POS_INF, NEG_INF):
+                    results.append(self._eval_dir(
+                        Affine(aff.const, residual).shift(0).add(
+                            Affine(int(end) * coeff)),
+                        want_hi, fuel - 1))
+            best = min(results) if want_hi else max(results)
+            return best
+        total: Bound = aff.const
+        for v, coeff in aff.terms.items():
+            r = self._sym_range.get(v, TOP)
+            use_hi = want_hi == (coeff > 0)
+            end = r.hi if use_hi else r.lo
+            total = _add(total, _mul(end, coeff))
+            if total in (POS_INF, NEG_INF):
+                break
+        return _clamp(total)
+
+    # -- bound registration ---------------------------------------------
+    def _push_bound(self, v: Value, lo: Optional[Affine],
+                    hi: Optional[Affine]) -> None:
+        if v not in self._order:
+            self._order[v] = self._next_order
+            self._next_order += 1
+        if lo is not None:
+            self._lo_bounds.setdefault(v, []).append(lo)
+        if hi is not None:
+            self._hi_bounds.setdefault(v, []).append(hi)
+
+    def _pop_bound(self, v: Value, lo: bool, hi: bool) -> None:
+        if lo:
+            self._lo_bounds[v].pop()
+            if not self._lo_bounds[v]:
+                del self._lo_bounds[v]
+        if hi:
+            self._hi_bounds[v].pop()
+            if not self._hi_bounds[v]:
+                del self._hi_bounds[v]
+
+    # -- the walk --------------------------------------------------------
+    def run(self) -> "IntervalAnalysis":
+        for arg in getattr(self.fn, "args", []):
+            self._uniform[arg] = True
+        self._walk_block(getattr(self.fn, "body"))
+        return self
+
+    def _walk_block(self, block: object) -> None:
+        for op in getattr(block, "ops"):
+            self._visit(op)
+
+    def _visit(self, op: Op) -> None:
+        oc = op.opcode
+        if oc in ("load", "atomic"):
+            ptr, idx = ((op.operands[0], op.operands[1]) if oc == "load"
+                        else (op.operands[1], op.operands[2]))
+            self.access[op] = self._classify_access(ptr, idx)
+            if op.result is not None:
+                self._uniform[op.result] = False
+            return
+        if oc == "store":
+            self.access[op] = self._classify_access(op.operands[1],
+                                                    op.operands[2])
+            return
+        if oc == "for":
+            self._visit_for(op)
+            return
+        if oc == "parallel_for":
+            body = op.regions[0]
+            iv = body.args[0]
+            self._push_bound(iv, self.affine_of(op.operands[0]),
+                             self.affine_of(op.operands[1]).shift(-1))
+            self._uniform[iv] = False
+            self._walk_block(body)
+            return
+        if oc == "fork":
+            self._visit_fork(op)
+            return
+        if oc == "while":
+            body = op.regions[0]
+            iv = body.args[0]
+            # The widened fixpoint of the iteration counter: [0,0]
+            # widen [0,1] = [0, +inf).
+            self._sym_range[iv] = Interval(0, POS_INF)
+            self._uniform[iv] = True
+            self._walk_block(body)
+            return
+        if oc == "if":
+            self._visit_if(op)
+            return
+        if oc == "spawn":
+            self._walk_block(op.regions[0])
+            return
+        if oc == "call":
+            self._visit_call(op)
+            return
+        if oc == "alloc":
+            self._ptr_off[op.result] = Affine(0)
+            self._uniform[op.result] = True
+            return
+        if oc == "ptradd":
+            base_off = self.ptr_offset(op.operands[0])
+            if base_off is not None:
+                self._ptr_off[op.result] = base_off.add(
+                    self.affine_of(op.operands[1]))
+            else:
+                self._ptr_off[op.result] = None
+            self._uniform[op.result] = all(
+                self.is_uniform(v) for v in op.operands)
+            return
+        for region in op.regions:
+            self._walk_block(region)
+        if op.result is not None:
+            self._visit_compute(op)
+
+    def _visit_compute(self, op: Op) -> None:
+        res = op.result
+        if res is None:
+            return
+        oc = op.opcode
+        pure = oc in OP_INFO or oc == "select"
+        self._uniform[res] = pure and all(
+            self.is_uniform(v) for v in op.operands)
+        if getattr(res, "type", None) is not I64:
+            return
+        # Non-affine integer ops: evaluate the result range here (the
+        # facts active at the definition hold at every use — SSA
+        # region scoping keeps uses inside the defining region).
+        if oc == "imod":
+            a, b = (self.interval(op.operands[0]),
+                    self.interval(op.operands[1]))
+            if b.lo >= 1:
+                hi = _add(b.hi, -1)
+                if a.lo >= 0 and a.hi < hi:
+                    hi = a.hi
+                self._sym_range[res] = Interval(0, hi)
+        elif oc == "idiv":
+            a, b = (self.interval(op.operands[0]),
+                    self.interval(op.operands[1]))
+            if b.lo >= 1:
+                ends = [_floordiv(a.lo, b.lo), _floordiv(a.lo, b.hi),
+                        _floordiv(a.hi, b.lo), _floordiv(a.hi, b.hi)]
+                self._sym_range[res] = Interval(min(ends), max(ends))
+        elif oc == "imin":
+            a, b = (self.interval(op.operands[0]),
+                    self.interval(op.operands[1]))
+            self._sym_range[res] = Interval(min(a.lo, b.lo),
+                                            min(a.hi, b.hi))
+        elif oc == "imax":
+            a, b = (self.interval(op.operands[0]),
+                    self.interval(op.operands[1]))
+            self._sym_range[res] = Interval(max(a.lo, b.lo),
+                                            max(a.hi, b.hi))
+        elif oc == "select":
+            a, b = (self.interval(op.operands[1]),
+                    self.interval(op.operands[2]))
+            self._sym_range[res] = a.join(b)
+
+    def _visit_for(self, op: Op) -> None:
+        body = op.regions[0]
+        iv = body.args[0]
+        # Positive-step loops only execute the body with iv in
+        # [lb, ub-1] (reverse_order walks the same set backwards;
+        # workshare chunks a subset of it).
+        self._push_bound(iv, self.affine_of(op.operands[0]),
+                         self.affine_of(op.operands[1]).shift(-1))
+        simd = bool(op.attrs.get("simd"))
+        self._uniform[iv] = not simd
+        self._walk_block(body)
+
+    def _visit_fork(self, op: Op) -> None:
+        body = op.regions[0]
+        tid, nth = body.args[0], body.args[1]
+        want = op.operands[0]
+        if isinstance(want, Constant) and isinstance(want.value, int) \
+                and want.value > 0:
+            self._sym_range[nth] = Interval.const(want.value)
+        else:
+            self._sym_range[nth] = Interval(1, POS_INF)
+        self._push_bound(tid, Affine(0), Affine.of(nth).shift(-1))
+        self._uniform[tid] = True
+        self._uniform[nth] = True
+        self._walk_block(body)
+
+    def _visit_call(self, op: Op) -> None:
+        callee = str(op.attrs.get("callee", ""))
+        res = op.result
+        if res is None:
+            return
+        self._uniform[res] = False
+        if callee == "mpi.comm_size":
+            self._sym_range[res] = Interval(1, POS_INF)
+            self._uniform[res] = True
+            self._comm_size = res
+        elif callee == "mpi.comm_rank":
+            self._sym_range[res] = Interval(0, POS_INF)
+            self._uniform[res] = True
+            if self._comm_size is not None:
+                self._push_bound(res, Affine(0),
+                                 Affine.of(self._comm_size).shift(-1))
+        elif callee == "rt.num_threads":
+            self._sym_range[res] = Interval(1, POS_INF)
+            self._uniform[res] = True
+        elif callee == "rt.buflen":
+            self._sym_range[res] = Interval(0, POS_INF)
+            self._uniform[res] = True
+
+    def _visit_if(self, op: Op) -> None:
+        then_body, else_body = op.regions[0], op.regions[1]
+        cond = op.operands[0]
+        then_ref = self._refinement(cond, negate=False)
+        else_ref = self._refinement(cond, negate=True)
+        self._with_refinement(then_ref, then_body)
+        self._with_refinement(else_ref, else_body)
+
+    def _with_refinement(self, ref: List[Tuple[Value, Optional[Affine],
+                                               Optional[Affine]]],
+                         body: object) -> None:
+        for v, lo, hi in ref:
+            self._push_bound(v, lo, hi)
+        try:
+            self._walk_block(body)
+        finally:
+            for v, lo, hi in reversed(ref):
+                self._pop_bound(v, lo is not None, hi is not None)
+
+    def _refinement(self, cond: Value, negate: bool
+                    ) -> List[Tuple[Value, Optional[Affine],
+                                    Optional[Affine]]]:
+        """Bounds implied by ``cond`` being true (or false)."""
+        if not isinstance(cond, Result) or cond.op.opcode != "cmp":
+            return []
+        op = cond.op
+        a, b = op.operands
+        if getattr(a, "type", None) is not I64 \
+                or getattr(b, "type", None) is not I64:
+            return []
+        if not (self.is_uniform(a) and self.is_uniform(b)):
+            return []
+        pred = str(op.attrs.get("pred", ""))
+        neg = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
+               "eq": "ne", "ne": "eq"}
+        if negate:
+            pred = neg.get(pred, "")
+        fa, fb = self.affine_of(a), self.affine_of(b)
+        out: List[Tuple[Value, Optional[Affine], Optional[Affine]]] = []
+        if pred == "lt":      # a <= b-1, b >= a+1
+            out = [(a, None, fb.shift(-1)), (b, fa.shift(1), None)]
+        elif pred == "le":
+            out = [(a, None, fb), (b, fa, None)]
+        elif pred == "gt":    # a >= b+1, b <= a-1
+            out = [(a, fb.shift(1), None), (b, None, fa.shift(-1))]
+        elif pred == "ge":
+            out = [(a, fb, None), (b, None, fa)]
+        elif pred == "eq":
+            out = [(a, fb, fb), (b, fa, fa)]
+        # "ne" (and unknown predicates) refine nothing.
+        # A bound of a value in terms of itself is useless and would
+        # loop the substitution; drop self-referential entries.
+        return [(v, lo, hi) for v, lo, hi in out
+                if not ((lo is not None and v in lo.terms)
+                        or (hi is not None and v in hi.terms))]
+
+    # -- pointers & access classification --------------------------------
+    def ptr_offset(self, ptr: Value) -> Optional[Affine]:
+        """Element offset of ``ptr`` relative to its origin base, or
+        None when the pointer's derivation is opaque."""
+        if ptr in self._ptr_off:
+            return self._ptr_off[ptr]
+        out: Optional[Affine]
+        if isinstance(ptr, Argument):
+            out = Affine(0)
+        elif isinstance(ptr, Result) and ptr.op.opcode == "alloc":
+            out = Affine(0)
+        elif isinstance(ptr, Result) and ptr.op.opcode == "ptradd":
+            base = self.ptr_offset(ptr.op.operands[0])
+            out = (base.add(self.affine_of(ptr.op.operands[1]))
+                   if base is not None else None)
+        else:
+            out = None
+        self._ptr_off[ptr] = out
+        return out
+
+    def extent_of(self, ptr: Value) -> Tuple[Optional[Affine], str]:
+        """Affine element count of the buffer ``ptr`` points into,
+        resolved through single-origin provenance; ``(None, why)``
+        when unknown."""
+        prov = self.aliasing.provenance(ptr)
+        if len(prov) != 1:
+            return None, "pointer has multiple or unknown origins"
+        (origin,) = prov
+        kind = origin[0]
+        if kind == "alloc":
+            alloc_op = origin[1]
+            return self.affine_of(alloc_op.operands[0]), ""
+        if kind == "arg":
+            arg = origin[1]
+            ext = arg.attrs.get("extent")
+            if isinstance(ext, int) and not isinstance(ext, bool):
+                return Affine(ext), ""
+            return None, (f"argument {arg.name!r} declares no extent")
+        return None, "pointer origin is unknown"
+
+    def _classify_access(self, ptr: Value, idx: Value) -> AccessFact:
+        ext_aff, why = self.extent_of(ptr)
+        off = self.ptr_offset(ptr)
+        if off is None:
+            addr_aff = None
+            why = why or "pointer offset is not affine"
+        else:
+            addr_aff = off.add(self.affine_of(idx))
+        if addr_aff is None or ext_aff is None:
+            index = (self.bound_affine(addr_aff)
+                     if addr_aff is not None else TOP)
+            return AccessFact(UNPROVEN, why, index=index)
+        index = self.bound_affine(addr_aff)
+        # slack = extent - addr; slack >= 1 everywhere means in bounds.
+        slack = self.bound_affine(ext_aff.sub(addr_aff))
+        extent = self.bound_affine(ext_aff)
+        if index.lo >= 0 and slack.lo >= 1:
+            return AccessFact(PROVEN, "", index=index, extent=extent)
+        # Provably out of bounds: every executed lane violates.
+        if index.hi < 0:
+            return AccessFact(OOB, "index is always negative",
+                              index=index, extent=extent)
+        if slack.hi < 1:
+            return AccessFact(OOB, "index always >= buffer extent",
+                              index=index, extent=extent)
+        parts: List[str] = []
+        if index.lo < 0:
+            parts.append(f"index lower bound {index.lo} may be negative")
+        if slack.lo < 1:
+            parts.append(f"index may reach extent (slack {slack.lo})")
+        return AccessFact(UNPROVEN, "; ".join(parts) or why,
+                          index=index, extent=extent)
+
+
+def analyze_intervals(fn: object, module: object,
+                      aliasing: Optional[AliasInfo] = None
+                      ) -> IntervalAnalysis:
+    """Run the interval/affine dataflow over ``fn``; returns the facts."""
+    return IntervalAnalysis(fn, module, aliasing).run()
+
+
+def certify_bounds(fn: object, module: object,
+                   aliasing: Optional[AliasInfo] = None
+                   ) -> IntervalAnalysis:
+    """Alias of :func:`analyze_intervals`, named for its consumer: the
+    backend lowering asks the result ``facts.proven(op)`` per memory
+    access and elides the runtime bounds check on certified sites."""
+    return analyze_intervals(fn, module, aliasing)

@@ -15,7 +15,7 @@ from ..ir.opinfo import OP_INFO
 from ..ir.ops import Block, Op
 from ..ir.types import PointerType
 from ..ir.values import Constant, Value
-from ..passes.aliasing import UNKNOWN, analyze_aliasing, provs_may_alias
+from ..passes.aliasing import UNKNOWN, analyze_aliasing
 from .pass_manager import FunctionPass
 
 
@@ -51,24 +51,8 @@ class LICM(FunctionPass):
         return changed
 
     def _region_writes(self, op: Op):
-        origins = set()
-        unknown = False
-        for inner in op.walk():
-            target = None
-            if inner.opcode in ("store", "atomic"):
-                target = inner.operands[1]
-            elif inner.opcode in ("memset", "memcpy"):
-                target = inner.operands[0]
-            elif inner.opcode == "call":
-                callee = inner.attrs["callee"]
-                if callee.startswith("mpi.") or callee.startswith("mpid."):
-                    unknown = True
-            if target is not None:
-                p = self.aliasing.provenance(target)
-                if UNKNOWN in p:
-                    unknown = True
-                origins |= set(p)
-        return origins, unknown
+        writes, unknown = self.aliasing.region_written_origins(op)
+        return set(writes), unknown
 
     def _hoist_from(self, loop: Op, parent: Block, defined: set,
                     module) -> bool:

@@ -1,0 +1,285 @@
+"""Native-region claimability certifier.
+
+The native C tier (``repro.interp.native``) today claims *expression
+chains* inside parallel regions; whole workshare loop bodies stay in
+generated Python (ROADMAP item 2).  This pass walks every parallel
+region of a function — ``fork`` bodies, ``workshare`` loops,
+``parallel_for`` bodies, and ``spawn`` tasks — and classifies each
+statement as **C-loop-emittable or not, with a recorded reason**, using
+
+* the native tier's own claimable-op templates (an op the C emitter has
+  no template for cannot be emitted),
+* the interval analysis (:mod:`repro.passes.intervals`): a memory
+  access is only emittable without a runtime check when its bounds are
+  statically certified,
+* the alias analysis (:mod:`repro.passes.aliasing`): a store whose
+  target may alias another buffer loaded in the same region would make
+  the C loop's load/store order observable.
+
+The reason taxonomy (stable strings — CI snapshots them):
+
+``ok``
+    claimable as part of a C loop body.
+``unclaimable-op:<opcode>``
+    no C template for this opcode.  Notably ``idiv``/``imod`` stay
+    unclaimable: the IR (and NumPy) use floor-division semantics while
+    C truncates toward zero.
+``unproven-bounds`` / ``oob-bounds``
+    the interval analysis could not certify the access in-bounds (or
+    proved it always out of bounds).
+``may-alias-store``
+    the store's target may alias a *different* buffer loaded in this
+    region (single-origin read-modify-write of the same buffer is
+    allowed).
+``barrier``
+    barriers split a region into phases; a statement at a barrier
+    position bounds any single C loop.
+``call:<callee>``
+    calls leave the C universe (interpreter intrinsics, user funcs).
+``nested-parallel:<opcode>``
+    a nested ``fork``/``spawn``/``parallel_for`` — C regions are flat.
+``workshare-loop`` / ``nested-blocked``
+    container statements: a nested workshare loop is reported as its
+    own region; a serial ``for``/``if`` container is claimable iff all
+    of its statements are.
+
+The per-function report is the machine-checked work-list whole-loop
+-body lowering will consume: a region whose every statement is ``ok``
+can be emitted as one C loop today.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..ir.printer import print_op
+from ..ir.types import PointerType
+from .aliasing import AliasInfo, analyze_aliasing, provs_may_alias
+from .intervals import OOB, PROVEN, IntervalAnalysis, analyze_intervals
+
+#: Reason strings (the taxonomy above).
+OK = "ok"
+
+#: Opcodes the C emitter has templates for (mirrors the native tier's
+#: _C_FLOAT_TEMPLATES/_C_BOOL_TEMPLATES plus cmp/select), extended
+#: with the exact int ops a C loop body could carry: iadd/isub/imul/
+#: ineg/imin/imax are exact in both semantics, itof/ftoi convert
+#: identically (C casts truncate toward zero exactly like np.int64
+#: casting).  idiv/imod are ABSENT on purpose: floor vs trunc.
+CLAIMABLE_COMPUTE = frozenset({
+    # float templates
+    "add", "sub", "mul", "div", "fma", "min", "max", "neg", "abs",
+    "sqrt", "floor",
+    # bool templates
+    "and", "or", "xor", "not",
+    # comparisons and select (C ternary)
+    "cmp", "select",
+    # exact integer arithmetic + conversions
+    "iadd", "isub", "imul", "ineg", "imin", "imax", "itof", "ftoi",
+})
+
+#: Region-bearing opcodes that a C region cannot contain.
+_NESTED_PARALLEL = frozenset({"fork", "spawn", "parallel_for"})
+
+
+@dataclass
+class StmtVerdict:
+    """One statement's classification inside a parallel region."""
+
+    op: str
+    opcode: str
+    claimable: bool
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "opcode": self.opcode,
+                "claimable": self.claimable, "reason": self.reason}
+
+
+@dataclass
+class RegionVerdict:
+    """One parallel region's statement-level claimability report."""
+
+    kind: str
+    label: str
+    statements: List[StmtVerdict] = field(default_factory=list)
+
+    @property
+    def claimable(self) -> bool:
+        return all(s.claimable for s in self.statements)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.statements:
+            out[s.reason] = out.get(s.reason, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "label": self.label,
+                "claimable": self.claimable,
+                "counts": self.counts(),
+                "statements": [s.to_dict() for s in self.statements]}
+
+
+class RegionChecker:
+    """Classify every parallel region of one function (see module
+    docstring); produces :class:`RegionVerdict` entries and the
+    aggregate report dict ``region_report`` renders."""
+
+    def __init__(self, fn: Any, module: Any,
+                 aliasing: Optional[AliasInfo] = None,
+                 intervals: Optional[IntervalAnalysis] = None) -> None:
+        self.fn = fn
+        self.module = module
+        self.aliasing: AliasInfo = (aliasing if aliasing is not None
+                                    else analyze_aliasing(fn, module))
+        self.intervals: IntervalAnalysis = (
+            intervals if intervals is not None
+            else analyze_intervals(fn, module, self.aliasing))
+        self.regions: List[RegionVerdict] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> "RegionChecker":
+        self._walk(getattr(self.fn, "body"))
+        return self
+
+    def _walk(self, block: Any) -> None:
+        """Find parallel regions anywhere in the function (top-level or
+        nested in serial control flow)."""
+        for op in getattr(block, "ops"):
+            kind = self._region_kind(op)
+            if kind is not None:
+                self._check_region(kind, op)
+                # Nested workshare loops inside a fork body get their
+                # own entries too (via _classify's recursion hook).
+                continue
+            for region in op.regions:
+                self._walk(region)
+
+    @staticmethod
+    def _region_kind(op: Any) -> Optional[str]:
+        oc = op.opcode
+        if oc == "fork":
+            return "fork"
+        if oc == "parallel_for":
+            return "parallel_for"
+        if oc == "spawn":
+            return "spawn"
+        if oc == "for" and op.attrs.get("workshare"):
+            return "workshare-simd" if op.attrs.get("simd") else "workshare"
+        return None
+
+    def _check_region(self, kind: str, op: Any) -> RegionVerdict:
+        self._counter += 1
+        verdict = RegionVerdict(
+            kind=kind, label=f"{getattr(self.fn, 'name', '?')}"
+            f"#{self._counter}")
+        self.regions.append(verdict)
+        body = op.regions[0]
+        for inner in getattr(body, "ops"):
+            verdict.statements.append(self._classify(inner, op))
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _classify(self, op: Any, region_op: Any) -> StmtVerdict:
+        oc = op.opcode
+        reason = self._reason(op, region_op)
+        return StmtVerdict(op=print_op(op, context=False), opcode=oc,
+                           claimable=(reason == OK), reason=reason)
+
+    def _reason(self, op: Any, region_op: Any) -> str:
+        oc = op.opcode
+        if oc in _NESTED_PARALLEL:
+            # A nested parallel construct still gets its own region
+            # entry, but blocks the enclosing one.
+            nested_kind = self._region_kind(op)
+            if nested_kind is not None:
+                self._check_region(nested_kind, op)
+            return f"nested-parallel:{oc}"
+        if oc == "for":
+            if op.attrs.get("workshare"):
+                nested = self._check_region(
+                    self._region_kind(op) or "workshare", op)
+                return OK if nested.claimable else "workshare-loop"
+            return self._container_reason(op, region_op)
+        if oc == "if":
+            return self._container_reason(op, region_op)
+        if oc == "barrier":
+            return "barrier"
+        if oc == "call":
+            return f"call:{op.attrs.get('callee', '?')}"
+        if oc == "load":
+            return self._access_reason(op)
+        if oc in ("store", "atomic"):
+            bounds = self._access_reason(op)
+            if bounds != OK:
+                return bounds
+            ptr = op.operands[1]
+            if self._store_may_alias(ptr, region_op):
+                return "may-alias-store"
+            return OK
+        if oc in ("return", "condition"):
+            return f"unclaimable-op:{oc}"
+        if oc in CLAIMABLE_COMPUTE:
+            return OK
+        return f"unclaimable-op:{oc}"
+
+    def _container_reason(self, op: Any, region_op: Any) -> str:
+        """Serial for / if: claimable iff every nested statement is."""
+        for region in op.regions:
+            for inner in getattr(region, "ops"):
+                if self._reason(inner, region_op) != OK:
+                    return "nested-blocked"
+        return OK
+
+    def _access_reason(self, op: Any) -> str:
+        status = self.intervals.status(op)
+        if status == PROVEN:
+            return OK
+        if status == OOB:
+            return "oob-bounds"
+        return "unproven-bounds"
+
+    def _store_may_alias(self, ptr: Any, region_op: Any) -> bool:
+        """True when the store's target may alias a *different* buffer
+        loaded inside the same region (same single-origin RMW is OK)."""
+        sp = self.aliasing.provenance(ptr)
+        for inner in region_op.walk():
+            if inner.opcode != "load":
+                continue
+            lptr = inner.operands[0]
+            if not isinstance(getattr(lptr, "type", None), PointerType):
+                continue
+            lp = self.aliasing.provenance(lptr)
+            if len(sp) == 1 and sp == lp:
+                continue  # provably the same single buffer
+            if provs_may_alias(sp, lp):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for region in self.regions:
+            for reason, n in region.counts().items():
+                counts[reason] = counts.get(reason, 0) + n
+        bounds = self.intervals.counts()
+        return {
+            "tool": "regioncheck",
+            "fn": getattr(self.fn, "name", "?"),
+            "regions": [r.to_dict() for r in self.regions],
+            "counts": counts,
+            "claimable_regions": sum(1 for r in self.regions
+                                     if r.claimable and r.statements),
+            "bounds": bounds,
+            "oob_findings": [f.to_dict()
+                             for f in self.intervals.findings()],
+        }
+
+
+def region_report(fn: Any, module: Any) -> Dict[str, Any]:
+    """Run the claimability certifier over ``fn``; returns the
+    ``{"tool": "regioncheck", ...}`` report dict."""
+    return RegionChecker(fn, module).run().to_json()

@@ -1,0 +1,163 @@
+"""Native-region claimability lint gate: ``python -m repro.tools.region_lint``.
+
+Builds the LULESH serial/openmp/raja flavors and the miniBUDE
+openmp/julia variants, runs the claimability certifier
+(:mod:`repro.passes.regioncheck`) over each kernel, and prints the
+statement-level classification for every parallel region — the
+machine-checked work-list whole-loop-body native lowering will consume
+(ROADMAP item 2).
+
+Exit status is nonzero when findings are emitted:
+
+* any access the interval analysis *proves* out of bounds
+  (``oob-bounds`` — a compile-time bug report), or
+* with ``--check BASELINE``, any drift of the per-region reason counts
+  from the committed snapshot (``REGION_baseline.json``) — so CI fails
+  when a pass change silently makes regions less (or more) claimable.
+
+``--out`` writes the combined JSON for ``summarize --region-report``;
+``--write-baseline`` regenerates the snapshot after a reviewed change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+from ..apps.lulesh.kernels import build_lulesh
+from ..apps.minibude.kernels import build_minibude
+from ..passes.regioncheck import region_report
+
+#: program label -> builder returning (module, fn_name).
+_PROGRAMS = {
+    "lulesh_serial": lambda nx: build_lulesh("serial", nx),
+    "lulesh_openmp": lambda nx: build_lulesh("openmp", nx),
+    "lulesh_raja": lambda nx: build_lulesh("raja", nx),
+    "minibude_openmp": lambda nx: build_minibude("openmp", 8, 4, 12),
+    "minibude_julia": lambda nx: build_minibude("julia", 8, 4, 12),
+}
+
+
+def collect(nx: int = 2) -> Dict[str, Any]:
+    """Run the certifier over every linted program; returns the
+    ``{"tool": "regioncheck-suite", ...}`` payload."""
+    reports = {}
+    for label, builder in _PROGRAMS.items():
+        module, fn_name = builder(nx)
+        reports[label] = region_report(module.functions[fn_name], module)
+    return {"tool": "regioncheck-suite", "nx": nx, "reports": reports}
+
+
+def baseline_view(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Reduce a suite payload to the snapshot-stable expected-reasons
+    view: per-region reason counts + per-program bounds counts.  The
+    statement list itself (op text, SSA names) is intentionally NOT
+    part of the snapshot — it churns with printer cosmetics."""
+    programs = {}
+    for label, rep in payload["reports"].items():
+        programs[label] = {
+            "bounds": rep["bounds"],
+            "claimable_regions": rep["claimable_regions"],
+            "regions": {
+                r["label"]: {"kind": r["kind"],
+                             "claimable": r["claimable"],
+                             "counts": r["counts"]}
+                for r in rep["regions"]
+            },
+        }
+    return {"tool": "regioncheck-baseline", "programs": programs}
+
+
+def _diff(expected: Dict[str, Any], actual: Dict[str, Any],
+          prefix: str = "") -> list:
+    """Recursive dict diff; returns human-readable drift lines."""
+    out = []
+    for k in sorted(set(expected) | set(actual)):
+        path = f"{prefix}{k}"
+        if k not in expected:
+            out.append(f"  + {path}: {actual[k]!r} (not in baseline)")
+        elif k not in actual:
+            out.append(f"  - {path}: {expected[k]!r} (gone)")
+        elif isinstance(expected[k], dict) and isinstance(actual[k], dict):
+            out.extend(_diff(expected[k], actual[k], path + "."))
+        elif expected[k] != actual[k]:
+            out.append(f"  ~ {path}: {expected[k]!r} -> {actual[k]!r}")
+    return out
+
+
+def render_text(payload: Dict[str, Any]) -> str:
+    lines = []
+    for label, rep in payload["reports"].items():
+        b = rep["bounds"]
+        lines.append(f"--- {label}: {len(rep['regions'])} region(s), "
+                     f"{rep['claimable_regions']} fully claimable; "
+                     f"bounds {b['proven']} proven / "
+                     f"{b['unproven']} unproven / {b['oob']} oob")
+        for region in rep["regions"]:
+            counts = ", ".join(f"{k}={v}" for k, v in
+                               sorted(region["counts"].items()))
+            mark = "ok" if region["claimable"] else "BLOCKED"
+            lines.append(f"    {region['label']} [{region['kind']}] "
+                         f"{mark}: {counts or 'empty'}")
+        for f in rep["oob_findings"]:
+            lines.append(f"    OOB {f['fn']}: {f['reason']} at {f['op']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", metavar="FILE",
+                    help="write the combined JSON report here")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed expected-reasons "
+                         "snapshot; exit nonzero on drift")
+    ap.add_argument("--write-baseline", metavar="FILE",
+                    help="write the expected-reasons snapshot here")
+    ap.add_argument("--nx", type=int, default=2,
+                    help="LULESH elements per edge (default 2)")
+    args = ap.parse_args(argv)
+
+    payload = collect(args.nx)
+    print(render_text(payload))
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as f:
+            json.dump(baseline_view(payload), f, indent=2, sort_keys=True)
+        print(f"wrote {args.write_baseline}")
+
+    findings = 0
+    oob = sum(len(rep["oob_findings"])
+              for rep in payload["reports"].values())
+    if oob:
+        print(f"region-lint: {oob} provably out-of-bounds access(es)",
+              file=sys.stderr)
+        findings += oob
+
+    if args.check:
+        with open(args.check) as f:
+            expected = json.load(f)
+        drift = _diff(expected.get("programs", {}),
+                      baseline_view(payload)["programs"])
+        if drift:
+            print(f"region-lint: drift from {args.check}:",
+                  file=sys.stderr)
+            for line in drift:
+                print(line, file=sys.stderr)
+            findings += len(drift)
+
+    if findings:
+        print(f"region-lint: {findings} finding(s)", file=sys.stderr)
+        return 1
+    print("region-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -220,6 +220,42 @@ def render_adjoint_report(payload: dict) -> str:
                         [[r.get(c) for c in cols] for r in rows])
 
 
+def render_region_report(payload: dict) -> str:
+    """Render regioncheck JSON (one report or a region_lint suite): the
+    per-region claimability table plus the bounds-certification
+    counts."""
+    tool = payload.get("tool")
+    if tool == "regioncheck-suite":
+        return "\n".join(
+            render_region_report(r)
+            for r in payload.get("reports", {}).values())
+    if tool != "regioncheck":
+        raise ValueError(f"not a regioncheck report (tool={tool!r}); "
+                         f"expected region_report() output or "
+                         f"region_lint --out output")
+    b = payload.get("bounds", {})
+    regions = payload.get("regions", [])
+    title = (f"regioncheck @{payload.get('fn', '?')}: "
+             f"{len(regions)} region(s), "
+             f"{payload.get('claimable_regions', 0)} fully claimable; "
+             f"bounds {b.get('proven', 0)} proven / "
+             f"{b.get('unproven', 0)} unproven / {b.get('oob', 0)} oob")
+    if not regions:
+        return f"== {title} ==\nno parallel regions\n"
+    rows = [{"region": r["label"], "kind": r["kind"],
+             "claimable": "yes" if r["claimable"] else "no",
+             "reasons": ", ".join(f"{k}={v}" for k, v in
+                                  sorted(r["counts"].items()))}
+            for r in regions]
+    cols = list(rows[0].keys())
+    text = format_table(title, cols,
+                        [[row.get(c) for c in cols] for row in rows])
+    oob = payload.get("oob_findings", [])
+    for f in oob:
+        text += f"OOB {f.get('fn', '?')}: {f.get('reason', '?')}\n"
+    return text
+
+
 #: dest -> (renderer, help) for the report-file options shared by the
 #: sanitizer, backend-bench, commcheck, and adjoint render paths.
 _REPORT_KINDS = {
@@ -237,6 +273,11 @@ _REPORT_KINDS = {
                        "render an adjoint-strategy report (lulesh "
                        "driver --json gradient output): managed loops, "
                        "fallbacks, peak cached bytes; repeatable"),
+    "region_report": (render_region_report,
+                      "render a regioncheck JSON report "
+                      "(region_report() or region_lint --out output): "
+                      "per-region claimability with reasons plus "
+                      "bounds-certification counts; repeatable"),
 }
 
 

@@ -1,0 +1,232 @@
+"""Native-region claimability certifier: the reason taxonomy on small
+programs, nested-region handling, may-alias stores, and the report
+shape the region_lint CLI snapshots."""
+
+from __future__ import annotations
+
+from repro.ir import I64, IRBuilder, Ptr, verify_module
+from repro.passes.regioncheck import OK, RegionChecker, region_report
+
+
+def _check(build):
+    b = IRBuilder()
+    build(b)
+    verify_module(b.module)
+    fn = next(iter(b.module.functions.values()))
+    return RegionChecker(fn, b.module).run()
+
+
+def _reasons(checker):
+    """label -> list of reasons in statement order."""
+    return {r.label: [s.reason for s in r.statements]
+            for r in checker.regions}
+
+
+def test_fully_claimable_workshare():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    v = b.load(x, i)
+                    b.store(b.mul(v, 2.0), x, i)
+
+    rc = _check(build)
+    kinds = {r.kind for r in rc.regions}
+    assert kinds == {"fork", "workshare-simd"}
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    assert ws.claimable
+    assert [s.reason for s in ws.statements] == [OK, OK, OK]
+    # The fork body's only statement is the (claimable) workshare loop.
+    fk = next(r for r in rc.regions if r.kind == "fork")
+    assert fk.claimable
+
+
+def test_unproven_bounds_blocks_statement():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("ix", Ptr(I64))],
+                        arg_attrs=[{"extent": 8}, {"extent": 8}]):
+            fn = b.module.functions["f"]
+            x, ix = fn.args
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    j = b.load(ix, i)
+                    b.store(0.0, x, j)
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    assert not ws.claimable
+    assert ws.counts()["unproven-bounds"] == 1
+
+
+def test_unclaimable_opcode_and_call():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    v = b.load(x, i)
+                    b.store(b.sin(v), x, i)          # no C template
+                    b.call("rt.num_threads")
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    counts = ws.counts()
+    assert counts["unclaimable-op:sin"] == 1
+    assert counts["call:rt.num_threads"] == 1
+
+
+def test_idiv_imod_stay_unclaimable():
+    """Floor division differs from C truncation on negatives — the
+    emitter must never claim it."""
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("n", I64)],
+                        arg_attrs=[{"extent": 8}, {}]):
+            fn = b.module.functions["f"]
+            x, n = fn.args
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    q = b.idiv(i, 3)
+                    r = b.imod(b.sub(i, 4), 3)
+                    b.store(0.0, x, b.min(b.max(b.add(q, r), 0), 7))
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    counts = ws.counts()
+    assert counts["unclaimable-op:idiv"] == 1
+    assert counts["unclaimable-op:imod"] == 1
+
+
+def test_barrier_splits_region():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    b.store(0.0, x, i)
+                b.barrier()
+                with b.workshare(0, 8) as i:
+                    b.store(1.0, x, i)
+
+    rc = _check(build)
+    fk = next(r for r in rc.regions if r.kind == "fork")
+    assert fk.counts()["barrier"] == 1
+    # Both workshares still get their own (claimable) entries.
+    assert sum(1 for r in rc.regions if r.kind.startswith("workshare")) == 2
+
+
+def test_may_alias_store_blocks():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("y", Ptr())],
+                        arg_attrs=[{"extent": 8},
+                                   {"extent": 8, "noalias": True}]):
+            fn = b.module.functions["f"]
+            x, y = fn.args
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    # x may alias x (same origin RMW: fine) but a
+                    # second non-noalias arg could alias x.
+                    v = b.load(x, i)
+                    b.store(v, x, i)
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    # Same-single-origin RMW is allowed.
+    assert ws.claimable
+
+
+def test_may_alias_two_args_blocks():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("y", Ptr())],
+                        arg_attrs=[{"extent": 8}, {"extent": 8}]):
+            fn = b.module.functions["f"]
+            x, y = fn.args
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    v = b.load(x, i)
+                    b.store(v, y, i)   # y may alias x (no noalias)
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    assert ws.counts().get("may-alias-store") == 1
+
+
+def test_noalias_args_do_not_block():
+    def build(b):
+        with b.function("f", [("x", Ptr()), ("y", Ptr())],
+                        arg_attrs=[{"extent": 8, "noalias": True},
+                                   {"extent": 8, "noalias": True}]):
+            fn = b.module.functions["f"]
+            x, y = fn.args
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    b.store(b.load(x, i), y, i)
+
+    rc = _check(build)
+    ws = next(r for r in rc.regions if r.kind.startswith("workshare"))
+    assert ws.claimable
+
+
+def test_nested_parallel_blocks_and_reports():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.spawn():
+                with b.fork(2):
+                    with b.workshare(0, 8) as i:
+                        b.store(0.0, x, i)
+
+    rc = _check(build)
+    kinds = sorted(r.kind for r in rc.regions)
+    assert kinds == ["fork", "spawn", "workshare-simd"]
+    sp = next(r for r in rc.regions if r.kind == "spawn")
+    assert sp.counts()["nested-parallel:fork"] == 1
+
+
+def test_serial_container_recursion():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.fork(2):
+                with b.workshare(0, 4) as i:
+                    with b.for_(0, 2) as k:
+                        b.store(0.0, x, b.add(b.mul(i, 2), k))  # ok
+                with b.workshare(0, 4) as i:
+                    with b.for_(0, 2) as k:
+                        b.call("rt.num_threads")                # blocked
+
+    rc = _check(build)
+    shares = [r for r in rc.regions if r.kind.startswith("workshare")]
+    ok_counts = [r.counts() for r in shares]
+    assert {"ok": 1} in ok_counts
+    assert any("nested-blocked" in c for c in ok_counts)
+
+
+def test_report_shape():
+    def build(b):
+        with b.function("f", [("x", Ptr())], arg_attrs=[{"extent": 8}]):
+            fn = b.module.functions["f"]
+            x = fn.args[0]
+            with b.fork(2):
+                with b.workshare(0, 8) as i:
+                    b.store(0.0, x, i)
+
+    b = IRBuilder()
+    build(b)
+    verify_module(b.module)
+    fn = next(iter(b.module.functions.values()))
+    rep = region_report(fn, b.module)
+    assert rep["tool"] == "regioncheck"
+    assert rep["fn"] == "f"
+    assert rep["bounds"] == {"proven": 1, "unproven": 0, "oob": 0}
+    assert rep["claimable_regions"] >= 1
+    for region in rep["regions"]:
+        assert {"kind", "label", "claimable", "counts",
+                "statements"} <= set(region)
+        for stmt in region["statements"]:
+            assert {"op", "opcode", "claimable", "reason"} <= set(stmt)

@@ -1,0 +1,89 @@
+"""region_lint CLI: suite collection over the real apps, the
+expected-reasons baseline round-trip, and nonzero exits on findings
+(OOB accesses, snapshot drift)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.tools.region_lint import (
+    _PROGRAMS,
+    baseline_view,
+    collect,
+    main,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return collect(nx=2)
+
+
+def test_collect_covers_all_programs(payload):
+    assert set(payload["reports"]) == set(_PROGRAMS)
+    for label, rep in payload["reports"].items():
+        assert rep["tool"] == "regioncheck"
+        # Every parallel program reports regions with statement-level
+        # classifications; lulesh_serial legitimately has none.
+        if label != "lulesh_serial":
+            assert rep["regions"], f"{label} reported no regions"
+            for region in rep["regions"]:
+                assert region["statements"]  or region["claimable"]
+        assert rep["bounds"]["proven"] > 0
+        assert rep["bounds"]["oob"] == 0
+
+
+def test_every_workshare_body_is_classified(payload):
+    for label in ("lulesh_openmp", "lulesh_raja", "minibude_openmp"):
+        rep = payload["reports"][label]
+        shares = [r for r in rep["regions"]
+                  if r["kind"].startswith("workshare")]
+        assert shares, f"{label}: no workshare regions found"
+        for region in shares:
+            assert region["statements"]
+            for stmt in region["statements"]:
+                assert stmt["reason"]
+
+
+def test_committed_baseline_matches(payload):
+    """The snapshot in REGION_baseline.json is what the current code
+    produces (CI gates on this via --check)."""
+    with open(REPO_ROOT / "REGION_baseline.json") as f:
+        expected = json.load(f)
+    assert baseline_view(payload)["programs"] == expected["programs"]
+
+
+def test_cli_clean_and_drift(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    out = tmp_path / "out.json"
+    rc = main(["--write-baseline", str(base), "--out", str(out)])
+    assert rc == 0
+    capsys.readouterr()
+
+    # Same baseline: clean.
+    assert main(["--check", str(base)]) == 0
+    capsys.readouterr()
+
+    # Perturbed baseline: drift, nonzero exit.
+    with open(base) as f:
+        doc = json.load(f)
+    tweaked = copy.deepcopy(doc)
+    prog = next(iter(tweaked["programs"]))
+    tweaked["programs"][prog]["bounds"]["proven"] += 1
+    with open(base, "w") as f:
+        json.dump(tweaked, f)
+    assert main(["--check", str(base)]) == 1
+    err = capsys.readouterr().err
+    assert "drift" in err
+
+    # The --out payload renders through summarize --region-report.
+    from repro.tools.summarize import render_region_report
+    with open(out) as f:
+        text = render_region_report(json.load(f))
+    assert "regioncheck @lulesh_openmp" in text
